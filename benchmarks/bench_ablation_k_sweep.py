@@ -1,0 +1,41 @@
+"""Benchmark: sensitivity of ESCAPE to the priority-gap constant ``k`` (Eq. 1).
+
+The paper recommends ``k`` at least twice the network latency; this sweep
+shows why -- with a tiny ``k`` neighbouring priorities expire within one
+round-trip of each other and extra campaigns appear, while a generous ``k``
+keeps every election a single campaign.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_k_sweep
+
+
+def test_ablation_k_sensitivity(benchmark, bench_runs, full_grids):
+    k_values = ablation_k_sweep.DEFAULT_K_VALUES if full_grids else (50.0, 200.0, 500.0, 1000.0)
+
+    def run_sweep():
+        return ablation_k_sweep.run(
+            runs=bench_runs, seed=6, cluster_size=16, k_values=k_values
+        )
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(ablation_k_sweep.report(result))
+
+    for k_ms in k_values:
+        benchmark.extra_info[f"campaigns_at_k{int(k_ms)}"] = round(
+            result.mean_campaigns_for(k_ms), 3
+        )
+
+    # With the paper's recommended gap (k >= 2x latency, here >= 400 ms) the
+    # election should essentially always finish in a single campaign, and the
+    # tiny-k settings must never need more campaigns than that on average ...
+    generous = [k for k in k_values if k >= 400.0]
+    tight = [k for k in k_values if k < 200.0]
+    for k_ms in generous:
+        assert result.mean_campaigns_for(k_ms) <= 1.5
+    # ... while every configuration still converges on a leader.
+    for k_ms in k_values:
+        assert result.measurements_for(k_ms).convergence_fraction() == 1.0
+    assert tight  # the sweep actually exercises the risky regime

@@ -1,0 +1,36 @@
+"""Benchmark: PPF ablation (SCA-only / Z-Raft vs full ESCAPE under loss).
+
+This is the design-choice ablation called out in DESIGN.md: it isolates how
+much of ESCAPE's gain under message loss comes from the Probing Patrol
+Function, by comparing Z-Raft (static priorities, no PPF) with full ESCAPE.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_ppf
+
+
+def test_ablation_ppf_contribution(benchmark, bench_runs, full_grids):
+    loss_rates = (0.0, 0.2, 0.4)
+    cluster_size = 20 if not full_grids else 50
+
+    def run_sweep():
+        return ablation_ppf.run(
+            runs=bench_runs, seed=5, cluster_size=cluster_size, loss_rates=loss_rates
+        )
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(ablation_ppf.report(result))
+
+    for loss in loss_rates:
+        benchmark.extra_info[f"ppf_benefit_at_loss{int(loss * 100)}"] = round(
+            result.ppf_benefit_percent(loss), 2
+        )
+
+    # Without faults the two protocols are close (the PPF has nothing to fix);
+    # under heavy loss the PPF must not hurt, and the gap should not invert
+    # badly in its absence.
+    healthy_gap = abs(result.ppf_benefit_percent(0.0))
+    assert healthy_gap < 35.0
+    assert result.average_for("escape", 0.4) < result.average_for("zraft", 0.4) * 1.3

@@ -1,0 +1,35 @@
+"""Benchmark: the Section IV-C extension (ESCAPE applied to Redis failover).
+
+Regenerates the adapter comparison table: stock Redis replica election vs the
+ESCAPE-groomed variant as the replicas' rank information degrades.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import adapter_redis
+
+
+def test_adapter_redis_failover(benchmark, bench_runs, full_grids):
+    runs = max(200, bench_runs * 20)
+
+    def run_sweep():
+        return adapter_redis.run(runs=runs, seed=7)
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(adapter_redis.report(result))
+
+    for confusion in result.confusion_levels:
+        benchmark.extra_info[f"reduction_at_confusion{int(confusion * 100)}"] = round(
+            result.escape_reduction_for(confusion), 2
+        )
+
+    # The groomed variant never collides and never loses to the stock
+    # mechanism; its advantage grows as rank information degrades.
+    for confusion in result.confusion_levels:
+        groomed = result.summary_for(confusion, "escape-redis")
+        assert groomed["collision_rate"] == 0.0
+        assert result.escape_reduction_for(confusion) >= 0.0
+    worst = max(result.confusion_levels)
+    best = min(result.confusion_levels)
+    assert result.escape_reduction_for(worst) >= result.escape_reduction_for(best) - 5.0

@@ -1,0 +1,64 @@
+"""Micro-benchmarks for the core substrates and a single failover episode.
+
+These are not paper figures; they track the cost of the building blocks the
+figure-level sweeps are made of (event scheduling, log appends, one full
+leader-failure episode per protocol), so performance regressions in the
+simulator itself are visible separately from protocol-level changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ElectionScenario
+from repro.sim.scheduler import EventScheduler
+from repro.statemachine.kvstore import KeyValueStore, PutCommand
+from repro.storage.log import ReplicatedLog
+
+
+def test_scheduler_throughput(benchmark):
+    def schedule_and_drain():
+        scheduler = EventScheduler()
+        for index in range(2_000):
+            scheduler.call_after(float(index % 97), lambda: None)
+        scheduler.run_until_idle()
+        return scheduler.executed_count
+
+    executed = benchmark(schedule_and_drain)
+    assert executed == 2_000
+
+
+def test_log_append_and_merge_throughput(benchmark):
+    def append_and_replay():
+        log = ReplicatedLog()
+        for _ in range(1_000):
+            log.append_command(term=1, command="payload")
+        replica = ReplicatedLog()
+        replica.merge_entries(0, list(log))
+        return replica.last_index
+
+    assert benchmark(append_and_replay) == 1_000
+
+
+def test_state_machine_apply_throughput(benchmark):
+    commands = [PutCommand(f"key-{index % 32}", index) for index in range(2_000)]
+
+    def apply_all():
+        machine = KeyValueStore()
+        for command in commands:
+            machine.apply(command)
+        return machine.applied_count
+
+    assert benchmark(apply_all) == 2_000
+
+
+@pytest.mark.parametrize("protocol", ["raft", "escape", "zraft"])
+def test_single_failover_episode(benchmark, protocol):
+    scenario = ElectionScenario(protocol=protocol, cluster_size=16)
+
+    def run_episode():
+        return scenario.run(seed=42)
+
+    measurement = benchmark.pedantic(run_episode, rounds=3, iterations=1)
+    benchmark.extra_info["total_ms"] = round(measurement.total_ms, 1)
+    assert measurement.converged

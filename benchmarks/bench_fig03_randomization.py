@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 3 (Raft election-time CDF vs timeout randomness).
+
+The timed region executes the full sweep (5-server Raft cluster, every timeout
+range of Section III); the resulting series is printed in the same layout the
+paper plots and key points are attached to the benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig03_randomization
+from repro.metrics.stats import fraction_at_or_below
+
+
+def test_fig03_randomization_sweep(benchmark, bench_runs, full_grids):
+    ranges = (
+        fig03_randomization.PAPER_TIMEOUT_RANGES
+        if full_grids
+        else fig03_randomization.PAPER_TIMEOUT_RANGES[:4]
+    )
+
+    def run_sweep():
+        return fig03_randomization.run(
+            runs=bench_runs, seed=0, timeout_ranges=ranges
+        )
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(fig03_randomization.report(result))
+
+    narrow = result.measurements_for(ranges[0]).totals_ms()
+    wide = result.measurements_for(ranges[-1]).totals_ms()
+    benchmark.extra_info["narrow_range_split_fraction"] = result.measurements_for(
+        ranges[0]
+    ).split_vote_fraction()
+    benchmark.extra_info["narrow_over_3500ms"] = 1 - fraction_at_or_below(narrow, 3_500.0)
+    benchmark.extra_info["wide_over_3500ms"] = 1 - fraction_at_or_below(wide, 3_500.0)
+    # Paper shape: with little randomness a visible fraction of elections
+    # drags past 3.5 s; wide randomization removes that tail.
+    assert benchmark.extra_info["wide_over_3500ms"] <= benchmark.extra_info[
+        "narrow_over_3500ms"
+    ] + 0.2

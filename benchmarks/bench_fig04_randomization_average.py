@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 4 (average Raft election time vs randomness).
+
+Prints the averaged series of Figure 4 (including the detection/election
+decomposition that explains the trade-off of Section III).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig04_randomization_average
+
+
+def test_fig04_average_vs_randomness(benchmark, bench_runs, full_grids):
+    ranges = (
+        fig04_randomization_average.PAPER_TIMEOUT_RANGES
+        if full_grids
+        else fig04_randomization_average.PAPER_TIMEOUT_RANGES[:4]
+    )
+
+    def run_sweep():
+        return fig04_randomization_average.run(
+            runs=bench_runs, seed=1, timeout_ranges=ranges
+        )
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(fig04_randomization_average.report(result))
+
+    benchmark.extra_info["averages_ms"] = dict(result.as_series())
+    # The detection component must grow monotonically with the randomness,
+    # which is the cost side of the paper's trade-off.
+    detections = list(result.average_detection_ms)
+    assert all(b >= a - 100.0 for a, b in zip(detections, detections[1:]))

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 9 (ESCAPE vs Raft at increasing cluster sizes).
+
+The timed region runs the paired sweep; the report prints the per-scale CDF
+summary and the average-reduction series the paper's right panel shows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_scale
+
+
+def test_fig09_scale_sweep(benchmark, bench_runs, full_grids):
+    sizes = fig09_scale.PAPER_SIZES if full_grids else (8, 16, 32)
+
+    def run_sweep():
+        return fig09_scale.run(runs=bench_runs, seed=2, sizes=sizes)
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(fig09_scale.report(result))
+
+    for size in sizes:
+        benchmark.extra_info[f"reduction_at_{size}"] = round(result.reduction_for(size), 2)
+        benchmark.extra_info[f"escape_max_ms_at_{size}"] = round(
+            max(result.measurements_for("escape", size).totals_ms()), 1
+        )
+
+    # Paper shape: ESCAPE wins overall (and clearly at the largest scale where
+    # Raft's split votes bite), finishes elections in well under the Raft
+    # timeout ceiling, and never splits votes.  Per-size reductions at the
+    # reduced run count are allowed a small noise margin.
+    reductions = [result.reduction_for(size) for size in sizes]
+    assert sum(reductions) / len(reductions) > 0.0
+    assert result.reduction_for(max(sizes)) > -2.0
+    for size in sizes:
+        assert result.reduction_for(size) > -10.0
+        escape = result.measurements_for("escape", size)
+        assert escape.split_vote_fraction() == 0.0
+        assert max(escape.totals_ms()) < 2_200.0

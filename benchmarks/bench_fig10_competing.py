@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 10 (election time vs competing-candidate phases).
+
+Prints the detection/election decomposition for every (cluster size, phases)
+cell and records ESCAPE's reduction at the heaviest contention level.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_competing_candidates
+
+
+def test_fig10_competing_candidate_phases(benchmark, bench_runs, full_grids):
+    sizes = fig10_competing_candidates.PAPER_SIZES if full_grids else (8, 16)
+    phases = fig10_competing_candidates.PAPER_PHASES
+
+    def run_sweep():
+        return fig10_competing_candidates.run(
+            runs=bench_runs, seed=3, sizes=sizes, phases=phases
+        )
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(fig10_competing_candidates.report(result))
+
+    for size in sizes:
+        benchmark.extra_info[f"reduction_3cc_at_{size}"] = round(
+            result.reduction_for(size, 3), 2
+        )
+
+    # Paper shape: Raft's time grows with the number of phases (roughly one
+    # election timeout per phase) while ESCAPE stays flat, so the reduction at
+    # three phases is large (paper: 44.9-74.3 %).
+    for size in sizes:
+        raft_flat = result.average_for("raft", size, 0)
+        raft_contended = result.average_for("raft", size, 3)
+        escape_contended = result.average_for("escape", size, 3)
+        assert raft_contended > raft_flat + 2_000.0
+        assert result.reduction_for(size, 3) > 30.0
+        assert escape_contended < 4_000.0

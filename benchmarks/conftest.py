@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper's evaluation on a reduced
+budget (fewer runs / smaller cluster-size grid than the paper's 1000-run
+sweeps) so the whole suite stays laptop-friendly.  The knobs below can be
+raised through environment variables for a full-fidelity reproduction:
+
+* ``REPRO_BENCH_RUNS``  -- independent runs per data point (default 10)
+* ``REPRO_BENCH_FULL``  -- set to ``1`` to use the paper's full cluster-size
+  and parameter grids instead of the reduced ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+DEFAULT_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10"))
+FULL_GRIDS = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    """Number of measured runs per data point."""
+    return DEFAULT_RUNS
+
+
+@pytest.fixture(scope="session")
+def full_grids() -> bool:
+    """Whether to sweep the paper's full parameter grids."""
+    return FULL_GRIDS

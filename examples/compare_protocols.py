@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare Raft, Z-Raft and ESCAPE leader-failover time at several scales.
+
+A laptop-sized version of the paper's Figure 9 / Figure 11 comparisons: for
+each protocol and cluster size the script runs a number of independent
+leader-crash episodes and prints the average out-of-service time, the p95, and
+how often Raft suffered split votes.
+
+Run with::
+
+    python examples/compare_protocols.py [--runs N] [--sizes 8,16,32] [--loss 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cluster import ElectionScenario
+from repro.metrics import MeasurementSet, render_table, summarize
+
+
+def compare(
+    sizes: list[int], runs: int, loss: float, seed: int
+) -> str:
+    rows = []
+    for size in sizes:
+        cells: dict[str, MeasurementSet] = {}
+        for protocol in ("raft", "zraft", "escape"):
+            scenario = ElectionScenario(
+                protocol=protocol,
+                cluster_size=size,
+                loss_rate=loss,
+                workload_interval_ms=250.0 if loss > 0 else 0.0,
+            )
+            cells[protocol] = MeasurementSet(
+                scenario.run_many(runs, base_seed=seed), label=protocol
+            )
+        raft_summary = summarize(cells["raft"].totals_ms())
+        escape_summary = summarize(cells["escape"].totals_ms())
+        zraft_summary = summarize(cells["zraft"].totals_ms())
+        reduction = 100.0 * (raft_summary.mean - escape_summary.mean) / raft_summary.mean
+        rows.append(
+            [
+                size,
+                f"{raft_summary.mean:.0f} / {raft_summary.p95:.0f}",
+                f"{zraft_summary.mean:.0f} / {zraft_summary.p95:.0f}",
+                f"{escape_summary.mean:.0f} / {escape_summary.p95:.0f}",
+                f"{100 * cells['raft'].split_vote_fraction():.0f}%",
+                f"{100 * cells['escape'].split_vote_fraction():.0f}%",
+                f"{reduction:.1f}%",
+            ]
+        )
+    return render_table(
+        headers=[
+            "servers",
+            "Raft mean/p95 (ms)",
+            "Z-Raft mean/p95 (ms)",
+            "ESCAPE mean/p95 (ms)",
+            "Raft splits",
+            "ESCAPE splits",
+            "ESCAPE vs Raft",
+        ],
+        rows=rows,
+        title=f"Leader failover comparison ({runs} runs per cell, loss={loss:.0%})",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=20)
+    parser.add_argument("--sizes", type=str, default="8,16,32")
+    parser.add_argument("--loss", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    sizes = [int(part) for part in args.sizes.split(",") if part]
+    print(compare(sizes, args.runs, args.loss, args.seed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro -- a full Python reproduction of "ESCAPE to Precaution against Leader
+Failures" (Zhang & Jacobsen, ICDCS 2022).
+
+The package is organised in layers (see DESIGN.md for the full inventory):
+
+* substrates -- :mod:`repro.sim` (discrete-event kernel), :mod:`repro.net`
+  (latency / loss / partitions), :mod:`repro.storage` (replicated log,
+  persistence), :mod:`repro.statemachine` (replicated state machines);
+* protocols -- :mod:`repro.raft` (baseline Raft), :mod:`repro.escape` (the
+  paper's contribution: SCA + PPF + configuration clock), :mod:`repro.zraft`
+  (ZooKeeper-style static priorities);
+* harnesses -- :mod:`repro.cluster` (simulated clusters, fault scenarios,
+  election measurement), :mod:`repro.runtime` (asyncio real-time runtime),
+  :mod:`repro.metrics`, :mod:`repro.analysis`, :mod:`repro.experiments`
+  (one module per paper figure).
+
+Quick start::
+
+    from repro.cluster import ElectionScenario
+
+    scenario = ElectionScenario(protocol="escape", cluster_size=8)
+    measurement = scenario.run(seed=1)
+    print(measurement.total_ms, measurement.split_vote)
+"""
+
+from repro.common import (
+    ClusterConfig,
+    ProtocolConfig,
+    RaftTimeoutConfig,
+    ScaParameters,
+    SeedSequence,
+)
+from repro.escape import Configuration, EscapeNode
+from repro.raft import RaftNode, Role
+from repro.zraft import ZRaftNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "Configuration",
+    "EscapeNode",
+    "ProtocolConfig",
+    "RaftNode",
+    "RaftTimeoutConfig",
+    "Role",
+    "ScaParameters",
+    "SeedSequence",
+    "ZRaftNode",
+    "__version__",
+]

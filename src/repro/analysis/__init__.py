@@ -1,0 +1,25 @@
+"""Analytical models backing the simulator's results.
+
+The closed-form models in :mod:`repro.analysis.theory` predict the detection
+period and the split-vote probability of Raft's randomized election timeouts,
+and the detection period of ESCAPE's prioritized timeouts.  They are used by
+tests as an independent cross-check of the simulator (the measured averages
+must track the analytic predictions) and by the documentation to explain the
+trade-off the paper's Section III describes.
+"""
+
+from repro.analysis.theory import (
+    escape_expected_detection_ms,
+    expected_minimum_uniform,
+    raft_expected_detection_ms,
+    split_vote_probability_two_candidates,
+    simultaneous_timeout_probability,
+)
+
+__all__ = [
+    "escape_expected_detection_ms",
+    "expected_minimum_uniform",
+    "raft_expected_detection_ms",
+    "simultaneous_timeout_probability",
+    "split_vote_probability_two_candidates",
+]

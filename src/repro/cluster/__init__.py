@@ -1,0 +1,32 @@
+"""Cluster harness: build simulated clusters, inject faults, measure elections.
+
+The harness is what the experiment modules (and the examples) drive:
+
+* :mod:`repro.cluster.environment` adapts the discrete-event simulator to the
+  node's :class:`~repro.raft.environment.Environment` protocol;
+* :mod:`repro.cluster.builder` wires nodes, network and world together for a
+  chosen protocol (``raft`` / ``escape`` / ``zraft``);
+* :mod:`repro.cluster.observers` records election events cluster-wide;
+* :mod:`repro.cluster.harness` runs elections and produces
+  :class:`~repro.metrics.records.ElectionMeasurement` records;
+* :mod:`repro.cluster.scenarios` packages the paper's fault scenarios (leader
+  crash, forced contention, broadcast message loss) into one reusable
+  :class:`~repro.cluster.scenarios.ElectionScenario`.
+"""
+
+from repro.cluster.builder import SimulatedCluster, build_cluster
+from repro.cluster.environment import SimNodeEnvironment
+from repro.cluster.harness import ElectionHarness
+from repro.cluster.observers import ElectionObserver
+from repro.cluster.scenarios import ElectionScenario
+from repro.cluster.workload import ClientWorkload
+
+__all__ = [
+    "ClientWorkload",
+    "ElectionHarness",
+    "ElectionObserver",
+    "ElectionScenario",
+    "SimNodeEnvironment",
+    "SimulatedCluster",
+    "build_cluster",
+]

@@ -1,0 +1,257 @@
+"""Build a simulated cluster for a chosen protocol.
+
+The builder wires together a :class:`~repro.sim.world.SimulationWorld`, a
+:class:`~repro.net.network.SimulatedNetwork`, and one protocol node (plus its
+environment and durable store) per member, and returns a
+:class:`SimulatedCluster` facade the harness and examples drive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.common.config import ClusterConfig, ProtocolConfig
+from repro.common.errors import ClusterError, ConfigurationError
+from repro.common.types import ServerId
+from repro.cluster.environment import SimNodeEnvironment
+from repro.escape.node import EscapeNode
+from repro.net.faults import FaultInjector
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.network import SimulatedNetwork
+from repro.raft.listeners import NodeListener
+from repro.raft.node import RaftNode
+from repro.raft.state import Role
+from repro.raft.timers import ElectionTimeoutPolicy
+from repro.sim.world import SimulationWorld
+from repro.statemachine.base import StateMachine
+from repro.statemachine.kvstore import KeyValueStore
+from repro.storage.persistent import InMemoryStore
+from repro.zraft.node import ZRaftNode
+
+#: Registry of the protocols the builder knows how to instantiate.
+PROTOCOLS = ("raft", "escape", "zraft")
+
+TimeoutPolicyFactory = Callable[[ServerId], ElectionTimeoutPolicy | None]
+StateMachineFactory = Callable[[ServerId], StateMachine]
+
+
+class SimulatedCluster:
+    """A set of protocol nodes connected by one simulated network."""
+
+    def __init__(
+        self,
+        protocol: str,
+        config: ClusterConfig,
+        world: SimulationWorld,
+        network: SimulatedNetwork,
+        nodes: Mapping[ServerId, RaftNode],
+    ) -> None:
+        self.protocol = protocol
+        self.config = config
+        self.world = world
+        self.network = network
+        self.nodes: dict[ServerId, RaftNode] = dict(nodes)
+        self._crashed: set[ServerId] = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start_all(self) -> None:
+        """Start every node (each joins as a follower and arms its timer)."""
+        for node in self.nodes.values():
+            node.start()
+
+    def node(self, server_id: ServerId) -> RaftNode:
+        """The node object for *server_id*."""
+        try:
+            return self.nodes[server_id]
+        except KeyError as exc:
+            raise ClusterError(f"S{server_id} is not part of this cluster") from exc
+
+    def running_nodes(self) -> list[RaftNode]:
+        """Nodes that are currently running (not crashed)."""
+        return [node for node in self.nodes.values() if node.is_running]
+
+    @property
+    def crashed(self) -> frozenset[ServerId]:
+        """Servers currently crashed."""
+        return frozenset(self._crashed)
+
+    # ------------------------------------------------------------------ #
+    # Leadership
+    # ------------------------------------------------------------------ #
+    def leader(self) -> RaftNode | None:
+        """The running leader with the highest term, if any."""
+        leaders = [
+            node
+            for node in self.running_nodes()
+            if node.role is Role.LEADER
+        ]
+        if not leaders:
+            return None
+        return max(leaders, key=lambda node: node.current_term)
+
+    def leader_id(self) -> ServerId | None:
+        """Identifier of the current leader, if any."""
+        leader = self.leader()
+        return leader.node_id if leader else None
+
+    def has_leader(self) -> bool:
+        """Whether a running node currently considers itself leader."""
+        return self.leader() is not None
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    def crash(self, server_id: ServerId) -> None:
+        """Crash a server: stop its timers and detach it from the network."""
+        if server_id in self._crashed:
+            raise ClusterError(f"S{server_id} is already crashed")
+        node = self.node(server_id)
+        node.stop()
+        self.network.disconnect(server_id)
+        self._crashed.add(server_id)
+        self.world.trace("cluster.crash", node=server_id)
+
+    def recover(self, server_id: ServerId) -> None:
+        """Recover a crashed server: reattach it and restart it as a follower."""
+        if server_id not in self._crashed:
+            raise ClusterError(f"S{server_id} is not crashed")
+        self.network.reconnect(server_id)
+        self.node(server_id).recover()
+        self._crashed.discard(server_id)
+        self.world.trace("cluster.recover", node=server_id)
+
+    def crash_leader(self) -> ServerId:
+        """Crash the current leader and return its identifier."""
+        leader = self.leader()
+        if leader is None:
+            raise ClusterError("cannot crash the leader: no leader is running")
+        self.crash(leader.node_id)
+        return leader.node_id
+
+    def set_fault(self, fault: FaultInjector) -> None:
+        """Install (or replace) the network fault injector."""
+        self.network.set_fault(fault)
+
+    # ------------------------------------------------------------------ #
+    # Client access
+    # ------------------------------------------------------------------ #
+    def propose_via_leader(self, command: object) -> int:
+        """Propose *command* on the current leader.
+
+        Returns:
+            The log index assigned to the command.
+
+        Raises:
+            ClusterError: when no leader is currently running.
+        """
+        leader = self.leader()
+        if leader is None:
+            raise ClusterError("no leader available to accept the proposal")
+        return leader.propose(command)
+
+    def describe(self) -> str:
+        """Multi-line summary of every node (used by the examples)."""
+        lines = [f"cluster protocol={self.protocol} size={self.config.size}"]
+        for server_id in self.config.server_ids:
+            node = self.nodes[server_id]
+            status = "CRASHED" if server_id in self._crashed else node.describe()
+            lines.append(f"  {status}")
+        return "\n".join(lines)
+
+
+def build_cluster(
+    protocol: str,
+    size: int,
+    seed: int = 0,
+    latency: LatencyModel | None = None,
+    fault: FaultInjector | None = None,
+    protocol_config: ProtocolConfig | None = None,
+    listeners: Iterable[NodeListener] = (),
+    timeout_policy_factory: TimeoutPolicyFactory | None = None,
+    escape_override_factory: TimeoutPolicyFactory | None = None,
+    state_machine_factory: StateMachineFactory | None = None,
+    trace: bool = True,
+) -> SimulatedCluster:
+    """Build a ready-to-start simulated cluster.
+
+    Args:
+        protocol: ``"raft"``, ``"escape"`` or ``"zraft"``.
+        size: number of servers (``S1 .. Sn``).
+        seed: root seed of the run (drives every random decision).
+        latency: latency model (defaults to the paper's 100-200 ms uniform).
+        fault: fault injector (defaults to a healthy network).
+        protocol_config: timing knobs (defaults to the paper's values).
+        listeners: listeners attached to every node (e.g. an
+            :class:`~repro.cluster.observers.ElectionObserver`).
+        timeout_policy_factory: per-node election timeout policy for *Raft*
+            nodes (used by the contention scenarios); return ``None`` to keep
+            the default randomized policy.
+        escape_override_factory: per-node timeout override for ESCAPE/Z-Raft
+            nodes (used by the contention scenarios).
+        state_machine_factory: per-node state machine (defaults to a
+            :class:`~repro.statemachine.kvstore.KeyValueStore`).
+        trace: whether to record the world trace (disable in large sweeps).
+    """
+    if protocol not in PROTOCOLS:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+        )
+    cluster_config = ClusterConfig.of_size(size)
+    config = protocol_config or ProtocolConfig.paper_defaults()
+    world = SimulationWorld(seed=seed, trace=trace)
+    network = SimulatedNetwork(
+        world,
+        cluster_config.server_ids,
+        latency=latency if latency is not None else UniformLatency(100.0, 200.0),
+        fault=fault,
+    )
+
+    nodes: dict[ServerId, RaftNode] = {}
+    shared_listeners = list(listeners)
+    for server_id in cluster_config.server_ids:
+        env = SimNodeEnvironment(world, network, server_id)
+        store = InMemoryStore()
+        machine = (
+            state_machine_factory(server_id)
+            if state_machine_factory is not None
+            else KeyValueStore()
+        )
+        if protocol == "raft":
+            policy = (
+                timeout_policy_factory(server_id)
+                if timeout_policy_factory is not None
+                else None
+            )
+            node: RaftNode = RaftNode(
+                node_id=server_id,
+                cluster=cluster_config,
+                env=env,
+                store=store,
+                state_machine=machine,
+                timeout_policy=policy,
+                protocol_config=config,
+                listeners=shared_listeners,
+            )
+        else:
+            override = (
+                escape_override_factory(server_id)
+                if escape_override_factory is not None
+                else None
+            )
+            node_class = EscapeNode if protocol == "escape" else ZRaftNode
+            node = node_class(
+                node_id=server_id,
+                cluster=cluster_config,
+                env=env,
+                store=store,
+                state_machine=machine,
+                protocol_config=config,
+                listeners=shared_listeners,
+                timeout_override=override,
+            )
+        network.register(server_id, node.on_message)
+        nodes[server_id] = node
+
+    return SimulatedCluster(protocol, cluster_config, world, network, nodes)

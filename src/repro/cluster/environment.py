@@ -1,0 +1,72 @@
+"""Adapter between protocol nodes and the discrete-event simulator."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+from repro.common.types import Milliseconds, ServerId
+from repro.net.network import SimulatedNetwork
+from repro.sim.events import EventHandle
+from repro.sim.world import SimulationWorld
+
+
+class SimNodeEnvironment:
+    """The :class:`~repro.raft.environment.Environment` backed by the simulator.
+
+    Each node gets its own environment instance with a private random stream
+    (``seeds.stream("node", node_id)``) so adding or removing one node never
+    perturbs another node's timeout draws.
+    """
+
+    def __init__(
+        self,
+        world: SimulationWorld,
+        network: SimulatedNetwork,
+        node_id: ServerId,
+    ) -> None:
+        self._world = world
+        self._network = network
+        self._node_id = node_id
+        self._rng = world.seeds.stream("node", node_id)
+
+    @property
+    def node_id(self) -> ServerId:
+        """The server this environment belongs to."""
+        return self._node_id
+
+    @property
+    def rng(self) -> random.Random:
+        """This node's private random stream."""
+        return self._rng
+
+    def now(self) -> Milliseconds:
+        return self._world.now()
+
+    def send(self, dst: ServerId, message: Any) -> None:
+        self._network.send(self._node_id, dst, message)
+
+    def broadcast(
+        self,
+        targets: Sequence[ServerId],
+        payload_factory: Callable[[ServerId], Any],
+    ) -> None:
+        self._network.broadcast(self._node_id, targets, payload_factory)
+
+    def set_timer(
+        self,
+        delay_ms: Milliseconds,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        return self._world.scheduler.call_after(
+            delay_ms, callback, label=f"S{self._node_id}:{label}"
+        )
+
+    def cancel_timer(self, handle: EventHandle) -> None:
+        handle.cancel()
+
+    def trace(self, category: str, **detail: Any) -> None:
+        self._world.tracer.record(
+            self._world.now(), category, node=self._node_id, **detail
+        )

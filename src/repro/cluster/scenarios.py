@@ -1,0 +1,204 @@
+"""Reusable fault scenarios: the paper's evaluation conditions in one place.
+
+:class:`ElectionScenario` captures one experimental condition (protocol,
+cluster size, timeout configuration, latency, message loss, forced contention,
+client workload) and knows how to run one measured leader-failure episode from
+a seed.  Every experiment module in :mod:`repro.experiments` is a thin sweep
+over these scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.cluster.builder import SimulatedCluster, build_cluster
+from repro.cluster.harness import ElectionHarness
+from repro.cluster.observers import ElectionObserver
+from repro.cluster.workload import ClientWorkload
+from repro.common.config import ProtocolConfig, RaftTimeoutConfig, ScaParameters
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeedSequence
+from repro.common.types import Milliseconds, ServerId
+from repro.metrics.records import ElectionMeasurement
+from repro.net.faults import BroadcastOmissionFault, FaultInjector, NoFault
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.raft.timers import (
+    ElectionTimeoutPolicy,
+    RandomizedTimeoutPolicy,
+    ScriptOnlyPolicy,
+    ScriptedTimeoutPolicy,
+)
+
+
+@dataclass(frozen=True)
+class ElectionScenario:
+    """One experimental condition for a leader-failure episode.
+
+    Attributes:
+        protocol: ``"raft"``, ``"escape"`` or ``"zraft"``.
+        cluster_size: number of servers.
+        raft_timeout_range: Raft's randomized election-timeout range
+            ``(min_ms, max_ms)``; Figure 3 sweeps it, Figures 9-11 fix it at
+            (1500, 3000).
+        sca: ESCAPE/Z-Raft SCA parameters (baseTime/k of Eq. 1).
+        heartbeat_interval_ms: leader heartbeat period.
+        latency_range: one-way message latency ``(low_ms, high_ms)``.
+        loss_rate: broadcast message-loss rate Δ (Section VI-D); 0 disables
+            fault injection.
+        contention_phases: number of competing-candidate phases to force
+            (Figure 10); 0 leaves timeouts entirely protocol-driven.
+        workload_interval_ms: client proposal period during the pre-crash
+            window (0 disables the workload).
+        pre_crash_ms: how long to run after stabilisation before crashing the
+            leader (lets the workload build up log divergence under loss).
+        stabilize_ms: budget for electing the initial leader.
+        max_election_ms: budget for the measured election.
+        trace: keep the world trace (disable for large sweeps).
+    """
+
+    protocol: str
+    cluster_size: int
+    raft_timeout_range: tuple[Milliseconds, Milliseconds] = (1500.0, 3000.0)
+    sca: ScaParameters = field(default_factory=lambda: ScaParameters(1500.0, 500.0))
+    heartbeat_interval_ms: Milliseconds = 150.0
+    latency_range: tuple[Milliseconds, Milliseconds] = (100.0, 200.0)
+    loss_rate: float = 0.0
+    contention_phases: int = 0
+    workload_interval_ms: Milliseconds = 0.0
+    pre_crash_ms: Milliseconds = 2_000.0
+    stabilize_ms: Milliseconds = 120_000.0
+    max_election_ms: Milliseconds = 120_000.0
+    trace: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Derived pieces
+    # ------------------------------------------------------------------ #
+    def protocol_config(self) -> ProtocolConfig:
+        """The :class:`ProtocolConfig` this scenario implies."""
+        return ProtocolConfig(
+            heartbeat_interval_ms=self.heartbeat_interval_ms,
+            raft_timeouts=RaftTimeoutConfig(*self.raft_timeout_range),
+            sca=self.sca,
+        )
+
+    def latency_model(self) -> LatencyModel:
+        """The latency model this scenario implies."""
+        return UniformLatency(*self.latency_range)
+
+    def fault_injector(self) -> FaultInjector:
+        """The fault injector this scenario implies."""
+        if self.loss_rate <= 0.0:
+            return NoFault()
+        return BroadcastOmissionFault(self.loss_rate)
+
+    def with_protocol(self, protocol: str) -> "ElectionScenario":
+        """The same condition for a different protocol (paired comparison)."""
+        return replace(self, protocol=protocol)
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def build(self, seed: int) -> tuple[SimulatedCluster, ElectionHarness]:
+        """Build (but do not run) the cluster and harness for one episode."""
+        if self.contention_phases < 0:
+            raise ConfigurationError("contention_phases must be >= 0")
+        observer = ElectionObserver()
+        seeds = SeedSequence(seed)
+        timeout_policy_factory, override_factory = self._contention_factories(seeds)
+        cluster = build_cluster(
+            protocol=self.protocol,
+            size=self.cluster_size,
+            seed=seed,
+            latency=self.latency_model(),
+            fault=self.fault_injector(),
+            protocol_config=self.protocol_config(),
+            listeners=(observer,),
+            timeout_policy_factory=timeout_policy_factory,
+            escape_override_factory=override_factory,
+            trace=self.trace,
+        )
+        return cluster, ElectionHarness(cluster, observer)
+
+    def run(self, seed: int) -> ElectionMeasurement:
+        """Run one measured leader-failure episode.
+
+        The measurement's ``extra`` mapping records the scenario parameters so
+        downstream reports can re-group measurements without carrying the
+        scenario object around.
+        """
+        cluster, harness = self.build(seed)
+        cluster.start_all()
+        harness.stabilize(max_time_ms=self.stabilize_ms)
+
+        workload: ClientWorkload | None = None
+        if self.workload_interval_ms > 0:
+            workload = ClientWorkload(cluster, interval_ms=self.workload_interval_ms)
+            workload.start()
+        if self.pre_crash_ms > 0:
+            harness.run_for(self.pre_crash_ms)
+
+        # Crash at a random point inside a heartbeat interval so the measured
+        # detection time is not synchronised with the heartbeat phase.
+        crash_jitter = SeedSequence(seed).stream("scenario", "crash").uniform(
+            0.0, self.heartbeat_interval_ms
+        )
+        harness.run_for(crash_jitter)
+
+        measurement = harness.crash_leader_and_measure(
+            max_election_ms=self.max_election_ms, seed=seed
+        )
+        if workload is not None:
+            workload.stop()
+        harness.assert_at_most_one_leader_per_term()
+        measurement.extra.update(
+            {
+                "loss_rate": self.loss_rate,
+                "contention_phases": self.contention_phases,
+                "raft_timeout_range": self.raft_timeout_range,
+                "workload_proposed": workload.proposed if workload else 0,
+            }
+        )
+        return measurement
+
+    def run_many(self, runs: int, base_seed: int = 0) -> list[ElectionMeasurement]:
+        """Run *runs* independent episodes with derived seeds."""
+        seeds = SeedSequence(base_seed)
+        return [
+            self.run(seeds.stream("run", index).getrandbits(32))
+            for index in range(runs)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Forced contention (Figure 10)
+    # ------------------------------------------------------------------ #
+    def _contention_factories(
+        self, seeds: SeedSequence
+    ) -> tuple[
+        Callable[[ServerId], ElectionTimeoutPolicy | None] | None,
+        Callable[[ServerId], ElectionTimeoutPolicy | None] | None,
+    ]:
+        """Build the per-node timeout policies that force competing candidates.
+
+        Every follower of the (future) crashed leader receives the *same*
+        scripted timeout for its first ``contention_phases`` waits, so those
+        waits expire (nearly) simultaneously: in Raft each collision produces
+        one phase of competing candidates, while ESCAPE's priority-driven term
+        growth resolves the very first collision in a single campaign -- which
+        is precisely the comparison Figure 10 draws.
+        """
+        if self.contention_phases <= 0:
+            return None, None
+        low, high = self.raft_timeout_range
+        collision_timeout = seeds.stream("scenario", "contention").uniform(low, high)
+        script = tuple([collision_timeout] * self.contention_phases)
+
+        def raft_policy(server_id: ServerId) -> ElectionTimeoutPolicy:
+            return ScriptedTimeoutPolicy(
+                script=script, fallback=RandomizedTimeoutPolicy(low, high)
+            )
+
+        def escape_override(server_id: ServerId) -> ElectionTimeoutPolicy:
+            return ScriptOnlyPolicy(script=script)
+
+        return raft_policy, escape_override

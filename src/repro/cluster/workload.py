@@ -1,0 +1,77 @@
+"""Client workload generator for simulated clusters.
+
+The message-loss experiment (Figure 11) needs ongoing log replication so that
+dropped heartbeats actually leave some followers behind -- that lag is what
+turns statically privileged servers into "unqualified candidates".  The
+workload proposes a command on the current leader at a fixed interval for as
+long as it is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.builder import SimulatedCluster
+from repro.common.errors import NotLeaderError
+from repro.common.types import Milliseconds
+from repro.statemachine.kvstore import PutCommand
+
+
+class ClientWorkload:
+    """Proposes commands on the current leader at a fixed interval."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        interval_ms: Milliseconds = 50.0,
+        command_factory: Callable[[int], object] | None = None,
+    ) -> None:
+        self._cluster = cluster
+        self._interval_ms = interval_ms
+        self._command_factory = command_factory or self._default_command
+        self._sequence = 0
+        self._active = False
+        self.proposed = 0
+        self.rejected = 0
+
+    @staticmethod
+    def _default_command(sequence: int) -> object:
+        return PutCommand(key=f"key-{sequence % 16}", value=sequence)
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the workload is currently scheduling proposals."""
+        return self._active
+
+    def start(self) -> None:
+        """Begin proposing commands every ``interval_ms``."""
+        if self._active:
+            return
+        self._active = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop proposing new commands (already scheduled ticks do nothing)."""
+        self._active = False
+
+    def _schedule_next(self) -> None:
+        self._cluster.world.scheduler.call_after(
+            self._interval_ms, self._tick, label="workload"
+        )
+
+    def _tick(self) -> None:
+        if not self._active:
+            return
+        leader = self._cluster.leader()
+        if leader is not None:
+            command = self._command_factory(self._sequence)
+            self._sequence += 1
+            try:
+                leader.propose(command)
+                self.proposed += 1
+            except NotLeaderError:
+                # The leader changed between the lookup and the proposal; the
+                # command is simply dropped, exactly as a real client retry
+                # loop would treat a NotLeader error.
+                self.rejected += 1
+        self._schedule_next()

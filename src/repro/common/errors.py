@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ESCAPE reproduction.
+
+Every exception raised by this library derives from :class:`ReproError`, so
+applications embedding the library can catch one base class.  Subclasses map
+one-to-one onto the major subsystems described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, running a scheduler whose
+    clock has been detached, or exceeding an explicit event budget.
+    """
+
+
+class NetworkError(ReproError):
+    """The simulated network was asked to do something impossible.
+
+    Examples: sending to an unregistered node or creating overlapping
+    partitions that do not cover the membership.
+    """
+
+
+class StorageError(ReproError):
+    """The durable-state substrate detected corruption or misuse.
+
+    Examples: appending a log entry with a non-contiguous index, truncating
+    committed entries, or loading a persisted file with an invalid payload.
+    """
+
+
+class ProtocolError(ReproError):
+    """A consensus protocol invariant was violated.
+
+    These indicate bugs (either in the library or in code driving a node
+    directly) rather than expected runtime failures: terms moving backwards,
+    two leaders acknowledged in one term by one node, a proposal submitted to
+    a non-leader, and similar conditions.
+    """
+
+
+class NotLeaderError(ProtocolError):
+    """A client proposal was submitted to a node that is not the leader."""
+
+    def __init__(self, node_id: int, known_leader: int | None = None) -> None:
+        self.node_id = node_id
+        self.known_leader = known_leader
+        hint = f"; known leader is S{known_leader}" if known_leader else ""
+        super().__init__(f"S{node_id} is not the leader{hint}")
+
+
+class ClusterError(ReproError):
+    """The cluster harness was driven into an unsupported state.
+
+    Examples: crashing a node that is already crashed, or asking for the
+    leader of a cluster that never elected one within the allowed time.
+    """

@@ -1,0 +1,64 @@
+"""Typed aliases and tiny value helpers shared across the library.
+
+The paper identifies servers by small integers (``S1`` ... ``Sn``) and uses the
+server identifier directly as the initial priority in the stochastic
+configuration assignment (Section IV-A).  We therefore model a server
+identifier as a positive ``int`` and provide :func:`format_server` for the
+human-readable ``"S3"`` style used in traces and reports.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+# A server identifier.  Positive integer, unique within a cluster.  The paper
+# assigns priorities from server identifiers, so keeping this an ``int`` keeps
+# Eq. 1 and Eq. 2 literal.
+ServerId = int
+
+# Raft's logical time.  Terms are positive integers that only ever increase
+# (Section II-A).  ESCAPE preserves the monotonicity but makes the increment
+# depend on the server's priority (Eq. 2).
+Term = int
+
+# Index into the replicated log.  The first real entry has index 1; index 0 is
+# the sentinel "empty log" position, matching the Raft paper's convention.
+LogIndex = int
+
+# Durations and timestamps.  All simulated and wall-clock times in this
+# library are expressed in milliseconds as floats, mirroring the units used
+# throughout the paper's evaluation (election timeouts of 1500-3000 ms,
+# network latency of 100-200 ms).
+Milliseconds = float
+
+# Human-readable node name such as ``"S7"``.
+NodeName = NewType("NodeName", str)
+
+
+def format_server(server_id: ServerId) -> str:
+    """Return the paper-style name for a server identifier.
+
+    >>> format_server(3)
+    'S3'
+    """
+    return f"S{server_id}"
+
+
+def parse_server(name: str) -> ServerId:
+    """Parse a paper-style server name back into a :data:`ServerId`.
+
+    >>> parse_server("S12")
+    12
+
+    Raises:
+        ValueError: if the name does not look like ``"S<integer>"``.
+    """
+    if not name or name[0] not in ("S", "s"):
+        raise ValueError(f"not a server name: {name!r}")
+    try:
+        server_id = int(name[1:])
+    except ValueError as exc:
+        raise ValueError(f"not a server name: {name!r}") from exc
+    if server_id <= 0:
+        raise ValueError(f"server identifiers are positive: {name!r}")
+    return server_id

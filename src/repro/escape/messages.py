@@ -1,0 +1,54 @@
+"""ESCAPE's extended RPC messages (Listing 1 of the paper).
+
+ESCAPE adds exactly three pieces of information to Raft's RPCs:
+
+* ``AppendEntries`` carries the follower's *newly assigned configuration*
+  (``newConfig``), letting the PPF distribute configurations on the existing
+  heartbeat without extra messages;
+* the ``AppendEntries`` reply carries a ``configStatus`` describing the
+  follower's log responsiveness and currently-held configuration;
+* ``RequestVote`` carries the candidate's configuration clock (and priority,
+  for observability), letting voters reject stale candidates.
+
+Each extended message subclasses its Raft counterpart, so Raft-level handlers
+treat them identically -- the mechanical expression of the paper's Lemma 2
+(an ESCAPE campaign is indistinguishable from a Raft campaign to a receiver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.escape.configuration import ConfigStatus, Configuration
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    RequestVoteRequest,
+)
+
+
+@dataclass(frozen=True)
+class EscapeRequestVoteRequest(RequestVoteRequest):
+    """RequestVote extended with the candidate's configuration metadata."""
+
+    conf_clock: int = 0
+    priority: int = 1
+
+
+@dataclass(frozen=True)
+class EscapeAppendEntriesRequest(AppendEntriesRequest):
+    """AppendEntries extended with the follower's newly assigned configuration.
+
+    ``new_config`` is ``None`` when the leader has nothing new for this
+    follower in this round (for example while it is still collecting the first
+    round of responsiveness reports).
+    """
+
+    new_config: Configuration | None = None
+
+
+@dataclass(frozen=True)
+class EscapeAppendEntriesResponse(AppendEntriesResponse):
+    """AppendEntries reply extended with the follower's ``configStatus``."""
+
+    config_status: ConfigStatus | None = None

@@ -1,0 +1,273 @@
+"""The ESCAPE node: Raft plus SCA, PPF and the configuration clock.
+
+:class:`EscapeNode` overrides only the extension hooks of
+:class:`repro.raft.node.RaftNode`:
+
+================================  ====================================================
+Hook                              ESCAPE behaviour
+================================  ====================================================
+``_hook_next_election_term``      term grows by the node's priority (Eq. 2)
+``_hook_election_timeout_ms``     the timeout paired with the current configuration
+``_hook_may_grant_vote``          reject candidates with a stale configuration clock
+``_hook_make_vote_request``       include configuration clock (and priority)
+``_hook_decorate_append_request`` piggyback the follower's newly assigned configuration
+``_hook_make_append_response``    include the follower's ``configStatus``
+``_hook_on_leader_heartbeat``     adopt a newer configuration carried by a heartbeat
+``_hook_on_append_response``      feed the PPF with follower responsiveness
+``_hook_before_heartbeat_round``  run one PPF round (clock bump + re-ranking)
+``_hook_on_become_leader``        instantiate the PPF for this leadership period
+================================  ====================================================
+
+Everything else -- log replication, commitment, vote counting -- is inherited
+unchanged, which is the code-level expression of the paper's safety argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.common.config import ClusterConfig, ProtocolConfig
+from repro.common.types import LogIndex, Milliseconds, ServerId, Term
+from repro.escape.configuration import ConfigStatus, Configuration
+from repro.escape.messages import (
+    EscapeAppendEntriesRequest,
+    EscapeAppendEntriesResponse,
+    EscapeRequestVoteRequest,
+)
+from repro.escape.ppf import ProbingPatrol
+from repro.escape.sca import assign_initial_configurations
+from repro.raft.environment import Environment
+from repro.raft.listeners import NodeListener
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    RequestVoteRequest,
+)
+from repro.raft.node import RaftNode
+from repro.raft.timers import ElectionTimeoutPolicy
+from repro.statemachine.base import StateMachine
+from repro.storage.persistent import PersistentState
+
+
+class EscapeNode(RaftNode):
+    """A server running the ESCAPE leader-election protocol.
+
+    Args:
+        node_id, cluster, env, store, state_machine, protocol_config,
+        listeners: as for :class:`~repro.raft.node.RaftNode`.
+        initial_configuration: the SCA configuration this server starts with.
+            When omitted it is derived from the cluster membership and the
+            SCA parameters in ``protocol_config`` (priority = server id).
+        timeout_override: optional scripted policy consulted *before* the
+            configuration's timer period.  The Figure 10 harness uses this to
+            force simultaneous timeouts (stale-configuration contention); it
+            returns to the configuration-driven timeout once the script is
+            exhausted.
+    """
+
+    protocol_name = "escape"
+
+    def __init__(
+        self,
+        node_id: ServerId,
+        cluster: ClusterConfig,
+        env: Environment,
+        store: PersistentState | None = None,
+        state_machine: StateMachine | None = None,
+        protocol_config: ProtocolConfig | None = None,
+        listeners: Iterable[NodeListener] = (),
+        initial_configuration: Configuration | None = None,
+        timeout_override: ElectionTimeoutPolicy | None = None,
+    ) -> None:
+        super().__init__(
+            node_id=node_id,
+            cluster=cluster,
+            env=env,
+            store=store,
+            state_machine=state_machine,
+            timeout_policy=None,
+            protocol_config=protocol_config,
+            listeners=listeners,
+        )
+        if initial_configuration is None:
+            initial_configuration = assign_initial_configurations(
+                list(cluster.server_ids), self.config.sca
+            )[node_id]
+        self.configuration: Configuration = initial_configuration
+        self._timeout_override = timeout_override
+        self.patrol: ProbingPatrol | None = None
+        self.configuration_updates = 0
+
+    # ------------------------------------------------------------------ #
+    # SCA: term growth and election timeouts
+    # ------------------------------------------------------------------ #
+    def _hook_next_election_term(self) -> Term:
+        """Eq. 2: the campaign term grows by this server's priority."""
+        return self.current_term + self.configuration.priority
+
+    def _hook_election_timeout_ms(self) -> Milliseconds:
+        """The timeout paired with the current configuration (Eq. 1).
+
+        A scripted override (contention scenarios) takes precedence while its
+        script lasts; afterwards the configuration timeout applies again.
+        """
+        if self._timeout_override is not None:
+            value = self._timeout_override.next_timeout_ms(
+                self.env.rng, self._timeout_attempt
+            )
+            if value is not None and value > 0:
+                return value
+        return self.configuration.timer_period_ms
+
+    # ------------------------------------------------------------------ #
+    # Configuration-clock vote gating
+    # ------------------------------------------------------------------ #
+    def _hook_may_grant_vote(self, request: RequestVoteRequest) -> bool:
+        """Reject candidates whose configuration clock is stale (Section IV-B)."""
+        if isinstance(request, EscapeRequestVoteRequest):
+            return request.conf_clock >= self.configuration.conf_clock
+        return True
+
+    def _hook_make_vote_request(self) -> RequestVoteRequest:
+        return EscapeRequestVoteRequest(
+            term=self.current_term,
+            candidate_id=self.node_id,
+            last_log_index=self.log.last_index,
+            last_log_term=self.log.last_term,
+            conf_clock=self.configuration.conf_clock,
+            priority=self.configuration.priority,
+        )
+
+    # ------------------------------------------------------------------ #
+    # PPF: leader side
+    # ------------------------------------------------------------------ #
+    def _hook_on_become_leader(self) -> None:
+        """Start a fresh patrol whose clock dominates everything issued before."""
+        if not self.peers:
+            self.patrol = None
+            return
+        self.patrol = ProbingPatrol(
+            leader_id=self.node_id,
+            followers=self.peers,
+            cluster_size=self.cluster.size,
+            sca=self.config.sca,
+            initial_clock=self.configuration.conf_clock + 1,
+            stale_after_ms=4.0 * self.config.heartbeat_interval_ms,
+        )
+        self.env.trace(
+            "ppf.start",
+            conf_clock=self.patrol.conf_clock,
+            leader_priority=self.configuration.priority,
+        )
+
+    def _hook_before_heartbeat_round(self) -> None:
+        """Run one PPF round right before broadcasting heartbeats."""
+        if self.patrol is None:
+            return
+        assignments = self.patrol.advance_round(self.env.now(), self.log.last_index)
+        self.env.trace(
+            "ppf.rearrange",
+            conf_clock=self.patrol.conf_clock,
+            future_leader=self.patrol.groomed_future_leader(),
+            assignment={
+                follower: configuration.priority
+                for follower, configuration in assignments.items()
+            },
+        )
+
+    def _hook_decorate_append_request(
+        self, request: AppendEntriesRequest, follower: ServerId
+    ) -> AppendEntriesRequest:
+        """Piggyback the follower's newly assigned configuration on the heartbeat."""
+        new_config = (
+            self.patrol.configuration_for(follower) if self.patrol is not None else None
+        )
+        return EscapeAppendEntriesRequest(
+            term=request.term,
+            leader_id=request.leader_id,
+            prev_log_index=request.prev_log_index,
+            prev_log_term=request.prev_log_term,
+            entries=request.entries,
+            leader_commit=request.leader_commit,
+            new_config=new_config,
+        )
+
+    def _hook_on_append_response(
+        self, src: ServerId, response: AppendEntriesResponse
+    ) -> None:
+        """Feed follower responsiveness into the patrol."""
+        if self.patrol is None:
+            return
+        if isinstance(response, EscapeAppendEntriesResponse) and response.config_status:
+            status = response.config_status
+            self.patrol.record_reply(
+                src,
+                log_index=status.log_index,
+                now_ms=self.env.now(),
+                reported_conf_clock=status.conf_clock,
+            )
+        else:
+            # A plain Raft reply (mixed-version cluster) still proves liveness
+            # and reports progress through match_index.
+            self.patrol.record_reply(
+                src, log_index=response.match_index, now_ms=self.env.now()
+            )
+
+    # ------------------------------------------------------------------ #
+    # PPF: follower side
+    # ------------------------------------------------------------------ #
+    def _hook_on_leader_heartbeat(self, request: AppendEntriesRequest) -> None:
+        """Adopt a newer configuration carried by the leader's heartbeat."""
+        if not isinstance(request, EscapeAppendEntriesRequest):
+            return
+        new_config = request.new_config
+        if new_config is None:
+            return
+        if new_config.conf_clock < self.configuration.conf_clock:
+            # A delayed heartbeat carrying an older assignment must never roll
+            # the configuration back (the clock exists precisely for this).
+            return
+        if new_config != self.configuration:
+            self.env.trace(
+                "config.update",
+                old=self.configuration.describe(),
+                new=new_config.describe(),
+            )
+            self.configuration = new_config
+            self.configuration_updates += 1
+
+    def _hook_make_append_response(
+        self, request: AppendEntriesRequest, success: bool, match_index: LogIndex
+    ) -> AppendEntriesResponse:
+        """Attach this follower's ``configStatus`` to the reply."""
+        return EscapeAppendEntriesResponse(
+            term=self.current_term,
+            follower_id=self.node_id,
+            success=success,
+            match_index=match_index,
+            config_status=ConfigStatus(
+                log_index=self.log.last_index,
+                timer_period_ms=self.configuration.timer_period_ms,
+                conf_clock=self.configuration.conf_clock,
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        base = super().describe()
+        return f"{base} {self.configuration.describe()}"
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Structured summary used by examples and debugging tools."""
+        return {
+            "node_id": self.node_id,
+            "role": str(self.role),
+            "term": self.current_term,
+            "priority": self.configuration.priority,
+            "timer_period_ms": self.configuration.timer_period_ms,
+            "conf_clock": self.configuration.conf_clock,
+            "log_last_index": self.log.last_index,
+            "commit_index": self.commit_index,
+        }

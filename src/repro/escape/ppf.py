@@ -1,0 +1,240 @@
+"""The Probing Patrol Function (PPF, Section IV-B).
+
+The PPF runs on the leader.  Each heartbeat round it
+
+1. reads the latest log responsiveness every follower reported in its
+   AppendEntries replies (the ``configStatus.log_index`` field),
+2. decides which followers are currently *lagging* (silent, crashed, or
+   missing log entries),
+3. re-assigns the pool of prioritized configurations so that up-to-date
+   followers hold the higher priorities (and therefore the shorter election
+   timeouts), advancing the configuration clock whenever the assignment
+   actually changes, and
+4. hands the per-follower assignment back to the node, which piggybacks it on
+   the next heartbeat broadcast.
+
+Two engineering decisions deserve a note (both are documented in DESIGN.md):
+
+* **Stability.**  The ranking is *stable*: followers keep their relative order
+  unless their lagging status changes.  A full re-sort on every heartbeat
+  would reshuffle priorities on transient, one-heartbeat lags, which under
+  broadcast message loss makes half the cluster hold configurations one clock
+  behind and reintroduces exactly the stale-candidate problem the clock is
+  meant to solve.
+* **Rearrangement clock.**  The configuration clock is the logical clock of
+  *rearrangements* -- it advances only when the priority assignment changes,
+  not on every heartbeat.  Rounds that re-issue the same assignment keep the
+  same clock, so a follower that misses one heartbeat broadcast is not
+  instantly considered stale by the voters.
+
+Followers that have stopped responding (or whose logs trail the leader's by
+more than ``lag_entries_threshold``) sink to the bottom of the ranking, so a
+crashed or partitioned server can never hold the groomed "future leader"
+configuration for long -- this is exactly the scenario of Figure 5b in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.common.config import ScaParameters
+from repro.common.errors import ConfigurationError
+from repro.common.types import LogIndex, Milliseconds, ServerId
+from repro.escape.configuration import Configuration
+from repro.escape.sca import follower_priority_ladder, validate_assignment
+
+
+@dataclass
+class FollowerResponsiveness:
+    """What the leader currently knows about one follower."""
+
+    follower_id: ServerId
+    log_index: LogIndex = 0
+    last_reply_ms: Milliseconds | None = None
+    reported_conf_clock: int = -1
+
+    @property
+    def has_replied(self) -> bool:
+        """Whether any reply has been received from this follower."""
+        return self.last_reply_ms is not None
+
+
+class ProbingPatrol:
+    """Leader-side configuration pool manager.
+
+    Args:
+        leader_id: the leader this patrol runs on.
+        followers: the leader's peers.
+        cluster_size: total number of servers ``n`` (followers hold priorities
+            ``[2, n]``; the leader holds no active configuration while it
+            leads -- its row is ``NA/∞`` in Figure 5 of the paper).
+        sca: the Eq. 1 parameters used to pair a timeout with each priority.
+        initial_clock: the first configuration clock to hand out; the leader
+            uses its own configuration's clock + 1 so newly issued
+            configurations always dominate anything assigned by a previous
+            leader.
+        lag_entries_threshold: a follower whose last reported log index trails
+            the leader's log by at least this many entries counts as lagging.
+        stale_after_ms: a follower that has not replied for this long counts
+            as lagging (covers crashed and partitioned servers).
+    """
+
+    def __init__(
+        self,
+        leader_id: ServerId,
+        followers: Iterable[ServerId],
+        cluster_size: int,
+        sca: ScaParameters,
+        initial_clock: int = 1,
+        lag_entries_threshold: int = 2,
+        stale_after_ms: Milliseconds = 600.0,
+    ) -> None:
+        self._leader_id = leader_id
+        self._followers = tuple(followers)
+        if len(self._followers) != cluster_size - 1:
+            raise ConfigurationError(
+                f"expected {cluster_size - 1} followers, got {len(self._followers)}"
+            )
+        if lag_entries_threshold < 1:
+            raise ConfigurationError("lag_entries_threshold must be >= 1")
+        if stale_after_ms <= 0:
+            raise ConfigurationError("stale_after_ms must be positive")
+        self._cluster_size = cluster_size
+        self._sca = sca
+        self._clock = max(0, initial_clock)
+        self._lag_entries_threshold = lag_entries_threshold
+        self._stale_after_ms = stale_after_ms
+        self._responsiveness: dict[ServerId, FollowerResponsiveness] = {
+            follower: FollowerResponsiveness(follower) for follower in self._followers
+        }
+        self._assignments: dict[ServerId, Configuration] = {}
+        self.rearrangement_count = 0
+        # The initial assignment simply follows server-id order; the first
+        # few heartbeat replies will promote the actually-responsive servers.
+        self._rebuild_from(sorted(self._followers))
+
+    # ------------------------------------------------------------------ #
+    # Observation (called from AppendEntries replies)
+    # ------------------------------------------------------------------ #
+    @property
+    def conf_clock(self) -> int:
+        """The configuration clock of the most recent rearrangement."""
+        return self._clock
+
+    @property
+    def assignments(self) -> Mapping[ServerId, Configuration]:
+        """The current follower → configuration assignment (read-only copy)."""
+        return dict(self._assignments)
+
+    def responsiveness_of(self, follower: ServerId) -> FollowerResponsiveness:
+        """The leader's current knowledge about one follower."""
+        try:
+            return self._responsiveness[follower]
+        except KeyError as exc:
+            raise ConfigurationError(f"S{follower} is not a tracked follower") from exc
+
+    def record_reply(
+        self,
+        follower: ServerId,
+        log_index: LogIndex,
+        now_ms: Milliseconds,
+        reported_conf_clock: int | None = None,
+    ) -> None:
+        """Record a follower's AppendEntries reply (its responsiveness probe)."""
+        record = self.responsiveness_of(follower)
+        record.log_index = max(record.log_index, log_index)
+        record.last_reply_ms = now_ms
+        if reported_conf_clock is not None:
+            record.reported_conf_clock = max(
+                record.reported_conf_clock, reported_conf_clock
+            )
+
+    def is_lagging(
+        self,
+        follower: ServerId,
+        now_ms: Milliseconds,
+        leader_last_index: LogIndex,
+    ) -> bool:
+        """Whether the leader currently considers *follower* to be lagging."""
+        record = self.responsiveness_of(follower)
+        if not record.has_replied:
+            return True
+        assert record.last_reply_ms is not None
+        if now_ms - record.last_reply_ms > self._stale_after_ms:
+            return True
+        return leader_last_index - record.log_index >= self._lag_entries_threshold
+
+    # ------------------------------------------------------------------ #
+    # Rearrangement (called right before each heartbeat broadcast)
+    # ------------------------------------------------------------------ #
+    def advance_round(
+        self, now_ms: Milliseconds, leader_last_index: LogIndex
+    ) -> Mapping[ServerId, Configuration]:
+        """Run one PPF round: re-rank the followers and re-issue configurations.
+
+        Returns:
+            The follower → configuration assignment to piggyback on this
+            round's heartbeats.
+        """
+        ranking = self.ranked_followers(now_ms, leader_last_index)
+        ladder = follower_priority_ladder(self._cluster_size)
+        proposed = dict(zip(ranking, ladder))
+        current = {
+            follower: configuration.priority
+            for follower, configuration in self._assignments.items()
+        }
+        if proposed != current:
+            self._clock += 1
+            self._rebuild_from(ranking)
+            self.rearrangement_count += 1
+        return self.assignments
+
+    def configuration_for(self, follower: ServerId) -> Configuration:
+        """The configuration currently assigned to *follower*."""
+        try:
+            return self._assignments[follower]
+        except KeyError as exc:
+            raise ConfigurationError(f"S{follower} has no assigned configuration") from exc
+
+    def ranked_followers(
+        self, now_ms: Milliseconds, leader_last_index: LogIndex
+    ) -> list[ServerId]:
+        """Followers ordered best-first: up-to-date before lagging, stable otherwise.
+
+        Within each group the order follows the currently held priority (so a
+        healthy groomed future leader keeps its configuration), with server id
+        as the final deterministic tie-break.
+        """
+
+        def sort_key(follower: ServerId) -> tuple[int, int, ServerId]:
+            lagging = self.is_lagging(follower, now_ms, leader_last_index)
+            current = self._assignments.get(follower)
+            priority = current.priority if current is not None else 0
+            return (1 if lagging else 0, -priority, follower)
+
+        return sorted(self._followers, key=sort_key)
+
+    def groomed_future_leader(self) -> ServerId:
+        """The follower currently holding the highest-priority configuration."""
+        return max(
+            self._assignments, key=lambda follower: self._assignments[follower].priority
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _rebuild_from(self, ranking: list[ServerId]) -> None:
+        ladder = follower_priority_ladder(self._cluster_size)
+        assignments: dict[ServerId, Configuration] = {}
+        for priority, follower in zip(ladder, ranking):
+            assignments[follower] = Configuration(
+                priority=priority,
+                timer_period_ms=self._sca.election_timeout_ms(
+                    priority, self._cluster_size
+                ),
+                conf_clock=self._clock,
+            )
+        validate_assignment(assignments)
+        self._assignments = assignments

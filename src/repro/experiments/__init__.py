@@ -1,0 +1,48 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every module exposes:
+
+* ``run(...)`` -- execute the sweep and return a structured result object;
+* ``report(result)`` -- render the same rows/series the paper plots as a
+  plain-text table;
+* sensible defaults small enough for a laptop, with ``runs`` (and, where
+  relevant, the list of cluster sizes) exposed so the paper's full 1000-run
+  sweeps can be reproduced with ``python -m repro.experiments <name> --runs
+  1000``.
+
+Index (see DESIGN.md §3 for the full mapping):
+
+==========================================  =========================================
+Module                                      Paper artefact
+==========================================  =========================================
+:mod:`repro.experiments.fig03_randomization`        Figure 3 (CDF vs timeout randomness)
+:mod:`repro.experiments.fig04_randomization_average` Figure 4 (average vs randomness)
+:mod:`repro.experiments.fig09_scale`                Figure 9 (CDFs + average vs scale)
+:mod:`repro.experiments.fig10_competing_candidates` Figure 10 (forced contention phases)
+:mod:`repro.experiments.fig11_message_loss`         Figure 11 (message loss, 3 protocols)
+:mod:`repro.experiments.ablation_ppf`               Ablation: SCA without PPF under churn
+:mod:`repro.experiments.ablation_k_sweep`           Ablation: Eq. 1 priority gap ``k``
+==========================================  =========================================
+"""
+
+from repro.experiments import (
+    ablation_k_sweep,
+    ablation_ppf,
+    adapter_redis,
+    fig03_randomization,
+    fig04_randomization_average,
+    fig09_scale,
+    fig10_competing_candidates,
+    fig11_message_loss,
+)
+
+__all__ = [
+    "ablation_k_sweep",
+    "ablation_ppf",
+    "adapter_redis",
+    "fig03_randomization",
+    "fig04_randomization_average",
+    "fig09_scale",
+    "fig10_competing_candidates",
+    "fig11_message_loss",
+]

@@ -1,0 +1,156 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments fig9 --runs 200 --seed 1
+    python -m repro.experiments fig11 --runs 1000          # paper-scale sweep
+    python -m repro.experiments all --runs 20               # quick smoke pass
+
+Every experiment prints the same rows/series the corresponding paper figure
+plots; see EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from repro.experiments import (
+    ablation_k_sweep,
+    ablation_ppf,
+    adapter_redis,
+    fig03_randomization,
+    fig04_randomization_average,
+    fig09_scale,
+    fig10_competing_candidates,
+    fig11_message_loss,
+)
+from repro.experiments.base import print_progress
+
+ExperimentRunner = Callable[[int, int, bool], str]
+
+
+def _run_fig3(runs: int, seed: int, quick: bool) -> str:
+    result = fig03_randomization.run(
+        runs=runs, seed=seed, progress=print_progress if not quick else None
+    )
+    return fig03_randomization.report(result)
+
+
+def _run_fig4(runs: int, seed: int, quick: bool) -> str:
+    result = fig04_randomization_average.run(
+        runs=runs, seed=seed, progress=print_progress if not quick else None
+    )
+    return fig04_randomization_average.report(result)
+
+
+def _run_fig9(runs: int, seed: int, quick: bool) -> str:
+    sizes = (8, 16, 32) if quick else fig09_scale.PAPER_SIZES
+    result = fig09_scale.run(
+        runs=runs,
+        seed=seed,
+        sizes=sizes,
+        progress=print_progress if not quick else None,
+    )
+    return fig09_scale.report(result)
+
+
+def _run_fig10(runs: int, seed: int, quick: bool) -> str:
+    sizes = (8, 16) if quick else fig10_competing_candidates.PAPER_SIZES
+    result = fig10_competing_candidates.run(
+        runs=runs,
+        seed=seed,
+        sizes=sizes,
+        progress=print_progress if not quick else None,
+    )
+    return fig10_competing_candidates.report(result)
+
+
+def _run_fig11(runs: int, seed: int, quick: bool) -> str:
+    sizes = (10,) if quick else fig11_message_loss.PAPER_SIZES
+    result = fig11_message_loss.run(
+        runs=runs,
+        seed=seed,
+        sizes=sizes,
+        progress=print_progress if not quick else None,
+    )
+    return fig11_message_loss.report(result)
+
+
+def _run_ablation_ppf(runs: int, seed: int, quick: bool) -> str:
+    result = ablation_ppf.run(
+        runs=runs, seed=seed, progress=print_progress if not quick else None
+    )
+    return ablation_ppf.report(result)
+
+
+def _run_ablation_k(runs: int, seed: int, quick: bool) -> str:
+    result = ablation_k_sweep.run(
+        runs=runs, seed=seed, progress=print_progress if not quick else None
+    )
+    return ablation_k_sweep.report(result)
+
+
+def _run_adapter_redis(runs: int, seed: int, quick: bool) -> str:
+    # The adapter model is cheap; scale the run count up so the collision
+    # rates are stable even in quick mode.
+    result = adapter_redis.run(runs=max(runs, 50), seed=seed)
+    return adapter_redis.report(result)
+
+
+EXPERIMENTS: dict[str, ExperimentRunner] = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "ablation-ppf": _run_ablation_ppf,
+    "ablation-k": _run_ablation_k,
+    "adapter-redis": _run_adapter_redis,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of the ESCAPE paper (ICDCS 2022).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS.keys(), "all"],
+        help="which figure to reproduce ('all' runs every experiment)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=30,
+        help="independent runs per data point (the paper uses 1000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="restrict the sweep to small cluster sizes for a fast smoke pass",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    args = build_parser().parse_args(argv)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        print(f"== {name} (runs={args.runs}, seed={args.seed}) ==", flush=True)
+        report = EXPERIMENTS[name](args.runs, args.seed, args.quick)
+        elapsed = time.perf_counter() - started
+        print(report)
+        print(f"-- completed in {elapsed:.1f} s\n", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Ablation: how much of ESCAPE's benefit comes from the PPF?
+
+This experiment is not a paper figure; it isolates the design choice the paper
+motivates in Section IV-B.  Z-Raft already *is* "SCA without PPF", so the
+ablation compares Z-Raft and full ESCAPE under increasing broadcast loss with
+an active client workload.  The expectation (and the paper's narrative in
+Section VI-D) is that the two are indistinguishable at Δ=0 and diverge as the
+statically privileged servers fall behind in log replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.metrics.records import MeasurementSet
+from repro.metrics.stats import reduction_percent
+from repro.metrics.tables import render_table
+
+DEFAULT_SIZE = 20
+DEFAULT_LOSS_RATES: tuple[float, ...] = (0.0, 0.2, 0.4)
+PROTOCOLS: tuple[str, ...] = ("zraft", "escape")
+
+
+@dataclass(frozen=True)
+class PpfAblationResult:
+    """Measurements per (protocol, loss rate) at one cluster size."""
+
+    cluster_size: int
+    loss_rates: tuple[float, ...]
+    runs: int
+    by_label: Mapping[str, MeasurementSet]
+
+    def measurements_for(self, protocol: str, loss_rate: float) -> MeasurementSet:
+        return self.by_label[cell_label(protocol, loss_rate)]
+
+    def average_for(self, protocol: str, loss_rate: float) -> float:
+        return self.measurements_for(protocol, loss_rate).mean_total_ms()
+
+    def ppf_benefit_percent(self, loss_rate: float) -> float:
+        """Reduction of ESCAPE (with PPF) vs Z-Raft (without PPF)."""
+        return reduction_percent(
+            self.average_for("zraft", loss_rate),
+            self.average_for("escape", loss_rate),
+        )
+
+
+def cell_label(protocol: str, loss_rate: float) -> str:
+    return f"{protocol}/loss{int(round(loss_rate * 100))}"
+
+
+def build_scenarios(
+    cluster_size: int = DEFAULT_SIZE,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+) -> dict[str, ElectionScenario]:
+    scenarios: dict[str, ElectionScenario] = {}
+    for loss_rate in loss_rates:
+        for protocol in PROTOCOLS:
+            scenarios[cell_label(protocol, loss_rate)] = ElectionScenario(
+                protocol=protocol,
+                cluster_size=cluster_size,
+                loss_rate=loss_rate,
+                workload_interval_ms=50.0,
+                pre_crash_ms=2_000.0,
+            )
+    return scenarios
+
+
+def run(
+    runs: int = 30,
+    seed: int = 0,
+    cluster_size: int = DEFAULT_SIZE,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    progress: ProgressCallback | None = None,
+) -> PpfAblationResult:
+    """Execute the PPF ablation sweep."""
+    scenarios = build_scenarios(cluster_size, loss_rates)
+    by_label = run_scenario_set(scenarios, runs=runs, seed=seed, progress=progress)
+    return PpfAblationResult(
+        cluster_size=cluster_size,
+        loss_rates=tuple(loss_rates),
+        runs=runs,
+        by_label=by_label,
+    )
+
+
+def report(result: PpfAblationResult) -> str:
+    rows = []
+    for loss_rate in result.loss_rates:
+        rows.append(
+            [
+                f"{loss_rate * 100:.0f}%",
+                f"{result.average_for('zraft', loss_rate):.0f}",
+                f"{result.average_for('escape', loss_rate):.0f}",
+                f"{result.ppf_benefit_percent(loss_rate):.1f}%",
+            ]
+        )
+    return render_table(
+        headers=["loss Δ", "SCA only / Z-Raft (ms)", "SCA+PPF / ESCAPE (ms)", "PPF benefit"],
+        rows=rows,
+        title=(
+            f"Ablation — contribution of the PPF at {result.cluster_size} servers "
+            f"({result.runs} runs per cell)"
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.common.rng import SeedSequence
+from repro.metrics.records import ElectionMeasurement, MeasurementSet
+
+ProgressCallback = Callable[[str, int, int], None]
+
+
+def run_scenario_set(
+    scenarios: Mapping[str, ElectionScenario],
+    runs: int,
+    seed: int = 0,
+    progress: ProgressCallback | None = None,
+) -> dict[str, MeasurementSet]:
+    """Run every scenario *runs* times and collect the measurements.
+
+    Seeds are derived per ``(scenario label, run index)``, so adding a new
+    scenario to the sweep never changes the seeds of existing ones, and two
+    protocols compared under the same label suffix observe paired randomness.
+    """
+    results: dict[str, MeasurementSet] = {}
+    root = SeedSequence(seed)
+    for label, scenario in scenarios.items():
+        measurements = MeasurementSet(label=label)
+        for index in range(runs):
+            run_seed = root.stream("experiment", label, index).getrandbits(32)
+            measurements.add(scenario.run(run_seed))
+            if progress is not None:
+                progress(label, index + 1, runs)
+        results[label] = measurements
+    return results
+
+
+def paired_seeds(runs: int, seed: int, label: str) -> list[int]:
+    """Derive the per-run seeds for one scenario label (for paired designs)."""
+    root = SeedSequence(seed)
+    return [
+        root.stream("experiment", label, index).getrandbits(32) for index in range(runs)
+    ]
+
+
+@dataclass(frozen=True)
+class SeriesResult:
+    """A labelled series of measurement sets keyed by a swept parameter."""
+
+    parameter_name: str
+    parameter_values: tuple
+    series: Mapping[str, tuple[MeasurementSet, ...]]
+
+    def mean_series(self, name: str) -> list[float]:
+        """Mean total election time per parameter value for one series."""
+        return [
+            measurement_set.mean_total_ms() for measurement_set in self.series[name]
+        ]
+
+    def all_measurements(self) -> list[ElectionMeasurement]:
+        """Every measurement in the result (used by invariant checks)."""
+        collected: list[ElectionMeasurement] = []
+        for sets in self.series.values():
+            for measurement_set in sets:
+                collected.extend(measurement_set.measurements)
+        return collected
+
+
+def print_progress(label: str, done: int, total: int) -> None:
+    """Progress callback printing a line every 10 completed runs."""
+    if done == total or done % 10 == 0:
+        print(f"  [{label}] {done}/{total} runs", flush=True)
+
+
+def flatten_sets(sets: Iterable[MeasurementSet]) -> MeasurementSet:
+    """Merge several measurement sets into one (for aggregate statistics)."""
+    merged = MeasurementSet(label="merged")
+    for measurement_set in sets:
+        for measurement in measurement_set:
+            merged.add(measurement)
+    return merged

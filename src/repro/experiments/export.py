@@ -1,0 +1,124 @@
+"""Persisting experiment results to CSV and JSON.
+
+Sweeps are expensive; these helpers let the CLI (and user scripts) save raw
+per-run measurements and aggregate series to disk so figures can be re-plotted
+or re-analysed without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.metrics.records import ElectionMeasurement, MeasurementSet
+
+#: Column order of the per-run CSV export.
+CSV_FIELDS = (
+    "label",
+    "protocol",
+    "cluster_size",
+    "seed",
+    "converged",
+    "crash_time_ms",
+    "detection_ms",
+    "election_ms",
+    "total_ms",
+    "campaign_count",
+    "split_vote",
+    "winner_id",
+    "winner_term",
+)
+
+
+def measurement_to_row(measurement: ElectionMeasurement, label: str = "") -> dict[str, object]:
+    """Flatten one measurement into a CSV/JSON-friendly dict."""
+    return {
+        "label": label,
+        "protocol": measurement.protocol,
+        "cluster_size": measurement.cluster_size,
+        "seed": measurement.seed,
+        "converged": measurement.converged,
+        "crash_time_ms": round(measurement.crash_time_ms, 3),
+        "detection_ms": round(measurement.detection_ms, 3),
+        "election_ms": round(measurement.election_ms, 3),
+        "total_ms": round(measurement.total_ms, 3),
+        "campaign_count": measurement.campaign_count,
+        "split_vote": measurement.split_vote,
+        "winner_id": measurement.winner_id,
+        "winner_term": measurement.winner_term,
+    }
+
+
+def write_measurements_csv(
+    path: str | Path,
+    measurement_sets: Mapping[str, MeasurementSet] | Mapping[str, Iterable[ElectionMeasurement]],
+) -> Path:
+    """Write every per-run measurement of a sweep to one CSV file.
+
+    Args:
+        path: destination file (parent directories are created).
+        measurement_sets: mapping from cell label (e.g. ``"escape@32"``) to its
+            measurements.
+
+    Returns:
+        The resolved path written to.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for label, measurements in measurement_sets.items():
+            for measurement in measurements:
+                writer.writerow(measurement_to_row(measurement, label))
+    return destination
+
+
+def read_measurements_csv(path: str | Path) -> list[dict[str, object]]:
+    """Read back a CSV produced by :func:`write_measurements_csv`."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no such results file: {source}")
+    with source.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def write_summary_json(
+    path: str | Path,
+    measurement_sets: Mapping[str, MeasurementSet],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write aggregate statistics (per cell label) to a JSON file.
+
+    The JSON carries, per label: run count, convergence fraction, split-vote
+    fraction, and the mean/min/max of the total election time -- the numbers
+    EXPERIMENTS.md quotes.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, object] = {"metadata": dict(metadata or {}), "cells": {}}
+    cells: dict[str, object] = {}
+    for label, measurements in measurement_sets.items():
+        totals = measurements.totals_ms()
+        cells[label] = {
+            "runs": len(measurements),
+            "convergence": measurements.convergence_fraction(),
+            "split_vote_fraction": measurements.split_vote_fraction(),
+            "mean_total_ms": sum(totals) / len(totals) if totals else None,
+            "min_total_ms": min(totals) if totals else None,
+            "max_total_ms": max(totals) if totals else None,
+        }
+    payload["cells"] = cells
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return destination
+
+
+def read_summary_json(path: str | Path) -> dict[str, object]:
+    """Read back a JSON summary produced by :func:`write_summary_json`."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no such summary file: {source}")
+    return json.loads(source.read_text())

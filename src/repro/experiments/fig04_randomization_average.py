@@ -1,0 +1,95 @@
+"""Figure 4: average Raft leader-election time vs timeout randomness.
+
+Figure 4 averages the same sweep as Figure 3.  The paper's observation is the
+*trade-off*: a small amount of randomness leaves frequent split votes (long
+elections); a large amount avoids split votes but inflates the detection
+period, so the average first drops and then climbs again as the range widens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.types import Milliseconds
+from repro.experiments.base import ProgressCallback
+from repro.experiments.fig03_randomization import (
+    PAPER_TIMEOUT_RANGES,
+    RandomizationResult,
+    range_label,
+    run as run_fig03,
+)
+from repro.metrics.tables import render_table
+
+
+@dataclass(frozen=True)
+class RandomizationAverageResult:
+    """Average election time (and its decomposition) per timeout range."""
+
+    timeout_ranges: tuple[tuple[Milliseconds, Milliseconds], ...]
+    runs: int
+    average_total_ms: tuple[float, ...]
+    average_detection_ms: tuple[float, ...]
+    average_election_ms: tuple[float, ...]
+
+    def as_series(self) -> list[tuple[str, float]]:
+        """(range label, average election time) pairs -- the Figure 4 series."""
+        return [
+            (range_label(timeout_range), average)
+            for timeout_range, average in zip(self.timeout_ranges, self.average_total_ms)
+        ]
+
+
+def from_fig03(result: RandomizationResult) -> RandomizationAverageResult:
+    """Derive the Figure 4 averages from an existing Figure 3 sweep."""
+    totals = []
+    detections = []
+    elections = []
+    for timeout_range in result.timeout_ranges:
+        measurements = result.measurements_for(timeout_range).converged
+        totals.append(measurements.mean_total_ms())
+        detection = measurements.detections_ms()
+        election = measurements.elections_ms()
+        detections.append(sum(detection) / len(detection))
+        elections.append(sum(election) / len(election))
+    return RandomizationAverageResult(
+        timeout_ranges=result.timeout_ranges,
+        runs=result.runs,
+        average_total_ms=tuple(totals),
+        average_detection_ms=tuple(detections),
+        average_election_ms=tuple(elections),
+    )
+
+
+def run(
+    runs: int = 100,
+    seed: int = 0,
+    timeout_ranges: Sequence[tuple[Milliseconds, Milliseconds]] = PAPER_TIMEOUT_RANGES,
+    progress: ProgressCallback | None = None,
+) -> RandomizationAverageResult:
+    """Execute the sweep and reduce it to the Figure 4 averages."""
+    return from_fig03(
+        run_fig03(runs=runs, seed=seed, timeout_ranges=timeout_ranges, progress=progress)
+    )
+
+
+def report(result: RandomizationAverageResult) -> str:
+    """Render the Figure 4 series as a table."""
+    rows = []
+    for index, timeout_range in enumerate(result.timeout_ranges):
+        rows.append(
+            [
+                range_label(timeout_range),
+                f"{result.average_detection_ms[index]:.0f}",
+                f"{result.average_election_ms[index]:.0f}",
+                f"{result.average_total_ms[index]:.0f}",
+            ]
+        )
+    return render_table(
+        headers=["timeout range (ms)", "detection (ms)", "election (ms)", "total (ms)"],
+        rows=rows,
+        title=(
+            "Figure 4 — average Raft leader election time vs timeout randomness "
+            f"({result.runs} runs per range)"
+        ),
+    )

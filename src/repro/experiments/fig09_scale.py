@@ -1,0 +1,125 @@
+"""Figure 9: ESCAPE vs Raft leader-election time at increasing cluster sizes.
+
+Setup (Section VI-B): clusters of 8, 16, 32, 64 and 128 servers, 100-200 ms
+latency, repeated leader crashes.  Raft uses the recommended 1500-3000 ms
+timeout range; ESCAPE uses baseTime 1500 ms with k = 500 ms.  The paper plots
+the CDF of the election time for each protocol and scale (left and middle
+panels) plus the averages (right panel), and reports that ESCAPE finishes
+every election under 2000 ms with no split votes, shortening the average
+election time by 11.6 % (s=8) to 21.3 % (s=128).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.metrics.records import MeasurementSet
+from repro.metrics.stats import cumulative_distribution, reduction_percent, summarize
+from repro.metrics.tables import render_table
+
+#: Cluster sizes evaluated by the paper.
+PAPER_SIZES: tuple[int, ...] = (8, 16, 32, 64, 128)
+
+#: The protocols compared in Figure 9.
+PROTOCOLS: tuple[str, ...] = ("raft", "escape")
+
+
+@dataclass(frozen=True)
+class ScaleResult:
+    """Measurements per (protocol, cluster size)."""
+
+    sizes: tuple[int, ...]
+    runs: int
+    by_label: Mapping[str, MeasurementSet]
+
+    def measurements_for(self, protocol: str, size: int) -> MeasurementSet:
+        """Measurements for one protocol at one scale."""
+        return self.by_label[scale_label(protocol, size)]
+
+    def cdf_for(self, protocol: str, size: int) -> list[tuple[float, float]]:
+        """CDF series (left/middle panels of Figure 9)."""
+        return cumulative_distribution(self.measurements_for(protocol, size).totals_ms())
+
+    def average_for(self, protocol: str, size: int) -> float:
+        """Average election time (right panel of Figure 9)."""
+        return self.measurements_for(protocol, size).mean_total_ms()
+
+    def reduction_for(self, size: int) -> float:
+        """ESCAPE's percentage reduction vs Raft at one scale."""
+        return reduction_percent(
+            self.average_for("raft", size), self.average_for("escape", size)
+        )
+
+
+def scale_label(protocol: str, size: int) -> str:
+    """Label for one protocol/scale cell, e.g. ``"escape@32"``."""
+    return f"{protocol}@{size}"
+
+
+def build_scenarios(
+    sizes: Sequence[int] = PAPER_SIZES,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> dict[str, ElectionScenario]:
+    """One scenario per (protocol, size) cell of Figure 9."""
+    scenarios: dict[str, ElectionScenario] = {}
+    for size in sizes:
+        for protocol in protocols:
+            scenarios[scale_label(protocol, size)] = ElectionScenario(
+                protocol=protocol, cluster_size=size
+            )
+    return scenarios
+
+
+def run(
+    runs: int = 50,
+    seed: int = 0,
+    sizes: Sequence[int] = PAPER_SIZES,
+    protocols: Sequence[str] = PROTOCOLS,
+    progress: ProgressCallback | None = None,
+) -> ScaleResult:
+    """Execute the Figure 9 sweep."""
+    scenarios = build_scenarios(sizes, protocols)
+    by_label = run_scenario_set(scenarios, runs=runs, seed=seed, progress=progress)
+    return ScaleResult(sizes=tuple(sizes), runs=runs, by_label=by_label)
+
+
+def report(result: ScaleResult) -> str:
+    """Render the averages, tail behaviour and split-vote rates per scale."""
+    rows = []
+    for size in result.sizes:
+        raft = result.measurements_for("raft", size)
+        escape = result.measurements_for("escape", size)
+        raft_summary = summarize(raft.totals_ms())
+        escape_summary = summarize(escape.totals_ms())
+        rows.append(
+            [
+                size,
+                f"{raft_summary.mean:.0f}",
+                f"{escape_summary.mean:.0f}",
+                f"{result.reduction_for(size):.1f}%",
+                f"{raft_summary.maximum:.0f}",
+                f"{escape_summary.maximum:.0f}",
+                f"{100 * raft.split_vote_fraction():.1f}%",
+                f"{100 * escape.split_vote_fraction():.1f}%",
+            ]
+        )
+    return render_table(
+        headers=[
+            "servers",
+            "Raft mean (ms)",
+            "ESCAPE mean (ms)",
+            "reduction",
+            "Raft max (ms)",
+            "ESCAPE max (ms)",
+            "Raft split votes",
+            "ESCAPE split votes",
+        ],
+        rows=rows,
+        title=(
+            "Figure 9 — leader election time vs cluster size "
+            f"({result.runs} runs per cell)"
+        ),
+    )

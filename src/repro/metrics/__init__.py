@@ -1,0 +1,29 @@
+"""Measurement records, statistics and report rendering.
+
+The experiment harness produces one
+:class:`~repro.metrics.records.ElectionMeasurement` per run; this package
+turns collections of measurements into the CDFs, averages and comparison
+tables that the paper's figures report.
+"""
+
+from repro.metrics.records import ElectionMeasurement, MeasurementSet
+from repro.metrics.stats import (
+    cumulative_distribution,
+    percentile,
+    reduction_percent,
+    summarize,
+    SummaryStatistics,
+)
+from repro.metrics.tables import render_comparison_table, render_table
+
+__all__ = [
+    "ElectionMeasurement",
+    "MeasurementSet",
+    "SummaryStatistics",
+    "cumulative_distribution",
+    "percentile",
+    "reduction_percent",
+    "render_comparison_table",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,108 @@
+"""Measurement records produced by the election harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.common.errors import ClusterError
+from repro.common.types import Milliseconds, ServerId, Term
+
+
+@dataclass(frozen=True)
+class ElectionMeasurement:
+    """Everything measured about one leader-failure / re-election episode.
+
+    The fields mirror the decomposition used in the paper's Figures 9-11:
+    the *detection period* runs from the leader crash to the first election
+    timeout; the *election period* runs from that timeout to the moment a new
+    leader has collected a quorum; their sum is the out-of-service (OTS) time
+    the paper reports as "leader election time".
+    """
+
+    protocol: str
+    cluster_size: int
+    seed: int
+    converged: bool
+    crash_time_ms: Milliseconds
+    detection_ms: Milliseconds
+    election_ms: Milliseconds
+    total_ms: Milliseconds
+    campaign_count: int
+    split_vote: bool
+    winner_id: ServerId | None
+    winner_term: Term | None
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.converged and self.winner_id is None:
+            raise ClusterError("a converged measurement must name the winner")
+
+
+class MeasurementSet:
+    """A collection of measurements from repeated runs of one configuration."""
+
+    def __init__(
+        self, measurements: Iterable[ElectionMeasurement] = (), label: str = ""
+    ) -> None:
+        self._measurements = list(measurements)
+        self.label = label
+
+    def add(self, measurement: ElectionMeasurement) -> None:
+        """Append one measurement."""
+        self._measurements.append(measurement)
+
+    @property
+    def measurements(self) -> tuple[ElectionMeasurement, ...]:
+        """Every recorded measurement."""
+        return tuple(self._measurements)
+
+    @property
+    def converged(self) -> "MeasurementSet":
+        """Only the runs in which a new leader actually emerged."""
+        return MeasurementSet(
+            (m for m in self._measurements if m.converged), label=self.label
+        )
+
+    def totals_ms(self) -> list[Milliseconds]:
+        """Total election times (OTS) of the converged runs."""
+        return [m.total_ms for m in self._measurements if m.converged]
+
+    def detections_ms(self) -> list[Milliseconds]:
+        """Detection periods of the converged runs."""
+        return [m.detection_ms for m in self._measurements if m.converged]
+
+    def elections_ms(self) -> list[Milliseconds]:
+        """Election periods of the converged runs."""
+        return [m.election_ms for m in self._measurements if m.converged]
+
+    def values(
+        self, selector: Callable[[ElectionMeasurement], float]
+    ) -> list[float]:
+        """Arbitrary per-measurement values from the converged runs."""
+        return [selector(m) for m in self._measurements if m.converged]
+
+    def split_vote_fraction(self) -> float:
+        """Fraction of runs that experienced at least one split vote."""
+        if not self._measurements:
+            return 0.0
+        return sum(1 for m in self._measurements if m.split_vote) / len(self._measurements)
+
+    def convergence_fraction(self) -> float:
+        """Fraction of runs that elected a new leader within the time budget."""
+        if not self._measurements:
+            return 0.0
+        return sum(1 for m in self._measurements if m.converged) / len(self._measurements)
+
+    def mean_total_ms(self) -> float:
+        """Average total election time over converged runs."""
+        totals = self.totals_ms()
+        if not totals:
+            raise ClusterError(f"no converged runs in measurement set {self.label!r}")
+        return sum(totals) / len(totals)
+
+    def __len__(self) -> int:
+        return len(self._measurements)
+
+    def __iter__(self) -> Iterator[ElectionMeasurement]:
+        return iter(self._measurements)

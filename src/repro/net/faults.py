@@ -1,0 +1,179 @@
+"""Fault injection for the simulated network.
+
+Two message-loss models are provided:
+
+* :class:`BroadcastOmissionFault` -- the paper's model (Section VI-D): for a
+  loss rate Δ, every broadcast from a leader or candidate simply never reaches
+  a uniformly chosen ⌈Δ·(n-1)⌉ subset of the peers.
+* :class:`PacketLossFault` -- i.i.d. per-message loss, provided for
+  sensitivity analysis (it is the model NetEm's ``loss`` option implements).
+
+:class:`LinkFault` cuts specific directed links and :class:`CompositeFault`
+combines several injectors.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.common.types import ServerId
+from repro.common.validation import require_fraction
+
+
+@runtime_checkable
+class FaultInjector(Protocol):
+    """Decides which messages the network silently drops."""
+
+    def drop_unicast(
+        self, rng: random.Random, src: ServerId, dst: ServerId
+    ) -> bool:  # pragma: no cover - protocol signature
+        """Whether to drop a single point-to-point message."""
+        ...
+
+    def omitted_broadcast_targets(
+        self, rng: random.Random, src: ServerId, targets: Sequence[ServerId]
+    ) -> frozenset[ServerId]:  # pragma: no cover - protocol signature
+        """Subset of *targets* a broadcast from *src* will never reach."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoFault:
+    """The fault injector used when the network is healthy (Δ = 0)."""
+
+    def drop_unicast(self, rng: random.Random, src: ServerId, dst: ServerId) -> bool:
+        return False
+
+    def omitted_broadcast_targets(
+        self, rng: random.Random, src: ServerId, targets: Sequence[ServerId]
+    ) -> frozenset[ServerId]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class PacketLossFault:
+    """Independent per-message loss with probability *loss_rate*."""
+
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        require_fraction(self.loss_rate, "loss_rate")
+
+    def drop_unicast(self, rng: random.Random, src: ServerId, dst: ServerId) -> bool:
+        return rng.random() < self.loss_rate
+
+    def omitted_broadcast_targets(
+        self, rng: random.Random, src: ServerId, targets: Sequence[ServerId]
+    ) -> frozenset[ServerId]:
+        return frozenset(
+            target for target in targets if rng.random() < self.loss_rate
+        )
+
+
+@dataclass(frozen=True)
+class BroadcastOmissionFault:
+    """The paper's broadcast loss model (Section VI-D).
+
+    "At each rate, a broadcast only reaches ``1 - Δ`` servers.  For example, in
+    a cluster of 10 servers and Δ = 20 %, a sender (leader or candidate)
+    randomly omits two servers in each broadcast."
+
+    Unicast messages (such as vote replies) are left untouched; the paper's
+    loss model applies to the sender's broadcast only.  Set
+    ``affect_unicast=True`` to additionally drop unicasts with probability Δ
+    for sensitivity analysis.
+    """
+
+    loss_rate: float
+    affect_unicast: bool = False
+
+    def __post_init__(self) -> None:
+        require_fraction(self.loss_rate, "loss_rate")
+
+    def drop_unicast(self, rng: random.Random, src: ServerId, dst: ServerId) -> bool:
+        if not self.affect_unicast:
+            return False
+        return rng.random() < self.loss_rate
+
+    def omitted_broadcast_targets(
+        self, rng: random.Random, src: ServerId, targets: Sequence[ServerId]
+    ) -> frozenset[ServerId]:
+        if self.loss_rate <= 0.0 or not targets:
+            return frozenset()
+        omit_count = min(len(targets), math.ceil(self.loss_rate * len(targets)))
+        return frozenset(rng.sample(list(targets), omit_count))
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Drops every message on an explicit set of directed links.
+
+    Args:
+        broken_links: pairs ``(src, dst)`` that can no longer communicate.
+        symmetric: when true, ``(dst, src)`` is broken as well.
+    """
+
+    broken_links: frozenset[tuple[ServerId, ServerId]] = field(default_factory=frozenset)
+    symmetric: bool = True
+
+    def _is_broken(self, src: ServerId, dst: ServerId) -> bool:
+        if (src, dst) in self.broken_links:
+            return True
+        return self.symmetric and (dst, src) in self.broken_links
+
+    def drop_unicast(self, rng: random.Random, src: ServerId, dst: ServerId) -> bool:
+        return self._is_broken(src, dst)
+
+    def omitted_broadcast_targets(
+        self, rng: random.Random, src: ServerId, targets: Sequence[ServerId]
+    ) -> frozenset[ServerId]:
+        return frozenset(target for target in targets if self._is_broken(src, target))
+
+
+@dataclass(frozen=True)
+class MessageDuplicationFault:
+    """Duplicates (rather than drops) messages with probability *rate*.
+
+    UDP-style transports deliver occasional duplicates; consensus protocols
+    must treat every RPC idempotently.  This injector never drops anything --
+    it only asks the network to deliver some messages twice -- so it composes
+    freely with the loss models above.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        require_fraction(self.rate, "rate")
+
+    def drop_unicast(self, rng: random.Random, src: ServerId, dst: ServerId) -> bool:
+        return False
+
+    def omitted_broadcast_targets(
+        self, rng: random.Random, src: ServerId, targets: Sequence[ServerId]
+    ) -> frozenset[ServerId]:
+        return frozenset()
+
+    def should_duplicate(self, rng: random.Random, src: ServerId, dst: ServerId) -> bool:
+        """Whether the network should deliver this message a second time."""
+        return rng.random() < self.rate
+
+
+@dataclass(frozen=True)
+class CompositeFault:
+    """Union of several fault injectors: a message is dropped if any says so."""
+
+    injectors: tuple[FaultInjector, ...] = ()
+
+    def drop_unicast(self, rng: random.Random, src: ServerId, dst: ServerId) -> bool:
+        return any(injector.drop_unicast(rng, src, dst) for injector in self.injectors)
+
+    def omitted_broadcast_targets(
+        self, rng: random.Random, src: ServerId, targets: Sequence[ServerId]
+    ) -> frozenset[ServerId]:
+        omitted: set[ServerId] = set()
+        for injector in self.injectors:
+            omitted.update(injector.omitted_broadcast_targets(rng, src, targets))
+        return frozenset(omitted)

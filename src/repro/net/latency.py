@@ -1,0 +1,130 @@
+"""Per-message latency models.
+
+The paper's testbed injects a uniform 100-200 ms latency with NetEm on top of
+a <2 ms data-centre network (Section VI-A); :class:`UniformLatency` reproduces
+that setting and is the default throughout the experiment harness.  The other
+models support the geo-distributed discussion of Section II-B (low in-group,
+high between-group latency) and general sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Milliseconds, ServerId
+from repro.common.validation import require_non_negative, require_ordered_pair, require_positive
+
+
+@runtime_checkable
+class LatencyModel(Protocol):
+    """Samples the one-way latency for a single message."""
+
+    def sample(
+        self, rng: random.Random, src: ServerId, dst: ServerId
+    ) -> Milliseconds:  # pragma: no cover - protocol signature
+        """Return the latency in milliseconds for one message ``src -> dst``."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Every message takes exactly *latency_ms* milliseconds."""
+
+    latency_ms: Milliseconds = 100.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.latency_ms, "latency_ms")
+
+    def sample(self, rng: random.Random, src: ServerId, dst: ServerId) -> Milliseconds:
+        return self.latency_ms
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """Latency drawn uniformly from ``[low_ms, high_ms]``.
+
+    ``UniformLatency(100, 200)`` reproduces the NetEm configuration used in
+    every experiment of the paper.
+    """
+
+    low_ms: Milliseconds = 100.0
+    high_ms: Milliseconds = 200.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.low_ms, "low_ms")
+        require_ordered_pair(self.low_ms, self.high_ms, "latency range")
+
+    def sample(self, rng: random.Random, src: ServerId, dst: ServerId) -> Milliseconds:
+        return rng.uniform(self.low_ms, self.high_ms)
+
+
+@dataclass(frozen=True)
+class LogNormalLatency:
+    """Heavy-tailed latency, parameterised by median and sigma.
+
+    Useful for sensitivity analysis: real wide-area paths exhibit occasional
+    large delays that a uniform model cannot produce.
+    """
+
+    median_ms: Milliseconds = 150.0
+    sigma: float = 0.3
+    max_ms: Milliseconds = 5_000.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.median_ms, "median_ms")
+        require_positive(self.sigma, "sigma")
+        require_positive(self.max_ms, "max_ms")
+
+    def sample(self, rng: random.Random, src: ServerId, dst: ServerId) -> Milliseconds:
+        mu = math.log(self.median_ms)
+        return min(rng.lognormvariate(mu, self.sigma), self.max_ms)
+
+
+@dataclass(frozen=True)
+class GeoGroupLatency:
+    """Two-tier latency: fast within a region, slow across regions.
+
+    Section II-B observes that geo-distributed deployments, where in-group
+    latency is much lower than between-group latency, are especially prone to
+    split votes because candidates gather their local group's votes quickly
+    and then starve remote candidates.  This model assigns every server to a
+    named region and samples intra- or inter-region latency accordingly.
+
+    Attributes:
+        regions: mapping from server id to region name.
+        intra_ms: ``(low, high)`` uniform range within a region.
+        inter_ms: ``(low, high)`` uniform range across regions.
+    """
+
+    regions: Mapping[ServerId, str] = field(default_factory=dict)
+    intra_ms: tuple[Milliseconds, Milliseconds] = (5.0, 15.0)
+    inter_ms: tuple[Milliseconds, Milliseconds] = (100.0, 200.0)
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ConfigurationError("GeoGroupLatency requires a region assignment")
+        require_ordered_pair(self.intra_ms[0], self.intra_ms[1], "intra_ms")
+        require_ordered_pair(self.inter_ms[0], self.inter_ms[1], "inter_ms")
+
+    def region_of(self, server_id: ServerId) -> str:
+        """Region a server belongs to."""
+        try:
+            return self.regions[server_id]
+        except KeyError as exc:
+            raise ConfigurationError(f"S{server_id} has no region assigned") from exc
+
+    def sample(self, rng: random.Random, src: ServerId, dst: ServerId) -> Milliseconds:
+        if self.region_of(src) == self.region_of(dst):
+            low, high = self.intra_ms
+        else:
+            low, high = self.inter_ms
+        return rng.uniform(low, high)
+
+
+def paper_latency() -> UniformLatency:
+    """The latency model used by every experiment in the paper (100-200 ms)."""
+    return UniformLatency(100.0, 200.0)

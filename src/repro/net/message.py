@@ -1,0 +1,45 @@
+"""Message envelopes carried by the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.types import Milliseconds, ServerId
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight between two servers.
+
+    Attributes:
+        message_id: unique, monotonically increasing identifier assigned by
+            the network (useful for tracing and deduplication in tests).
+        src: sender server identifier.
+        dst: destination server identifier.
+        payload: the protocol message (a Raft or ESCAPE RPC dataclass).
+        sent_at_ms: simulated time the sender handed the message to the
+            network.
+        deliver_at_ms: simulated time the network will deliver the message,
+            i.e. ``sent_at_ms`` plus the sampled latency.
+    """
+
+    message_id: int
+    src: ServerId
+    dst: ServerId
+    payload: Any
+    sent_at_ms: Milliseconds
+    deliver_at_ms: Milliseconds
+
+    @property
+    def latency_ms(self) -> Milliseconds:
+        """The latency sampled for this message."""
+        return self.deliver_at_ms - self.sent_at_ms
+
+    def describe(self) -> str:
+        """One-line human-readable rendering used in traces."""
+        return (
+            f"#{self.message_id} S{self.src}->S{self.dst} "
+            f"{type(self.payload).__name__} "
+            f"(sent {self.sent_at_ms:.1f} ms, +{self.latency_ms:.1f} ms)"
+        )

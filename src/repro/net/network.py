@@ -1,0 +1,249 @@
+"""The simulated network connecting protocol nodes.
+
+The network delivers protocol messages between registered nodes with a sampled
+latency, subject to fault injection (message loss), partitions, and node
+disconnection (used to model crashed servers).  Delivery happens through the
+shared :class:`~repro.sim.world.SimulationWorld` scheduler, so the whole run
+stays deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.errors import NetworkError
+from repro.common.types import ServerId
+from repro.net.faults import FaultInjector, NoFault
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.message import Envelope
+from repro.net.partition import PartitionManager
+from repro.sim.world import SimulationWorld
+
+DeliveryCallback = Callable[[ServerId, Any], None]
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing what the network did during a run."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_by_fault: int = 0
+    dropped_by_partition: int = 0
+    dropped_disconnected: int = 0
+    duplicated: int = 0
+    broadcast_count: int = 0
+    per_type_sent: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        """Total messages that never reached their destination."""
+        return (
+            self.dropped_by_fault
+            + self.dropped_by_partition
+            + self.dropped_disconnected
+        )
+
+    def record_sent(self, payload: Any) -> None:
+        self.sent += 1
+        name = type(payload).__name__
+        self.per_type_sent[name] = self.per_type_sent.get(name, 0) + 1
+
+
+class SimulatedNetwork:
+    """Latency- and fault-injecting message fabric between servers.
+
+    Args:
+        world: the simulation world supplying the clock, scheduler and RNG.
+        members: the full cluster membership.
+        latency: per-message latency model (defaults to the paper's
+            100-200 ms uniform latency).
+        fault: fault injector (defaults to no faults).
+    """
+
+    def __init__(
+        self,
+        world: SimulationWorld,
+        members: Iterable[ServerId],
+        latency: LatencyModel | None = None,
+        fault: FaultInjector | None = None,
+    ) -> None:
+        self._world = world
+        self._members = tuple(members)
+        if not self._members:
+            raise NetworkError("network requires at least one member")
+        self._latency = latency if latency is not None else UniformLatency(100.0, 200.0)
+        self._fault = fault if fault is not None else NoFault()
+        self._latency_rng = world.seeds.stream("net", "latency")
+        self._fault_rng = world.seeds.stream("net", "fault")
+        self._handlers: dict[ServerId, DeliveryCallback] = {}
+        self._disconnected: set[ServerId] = set()
+        self._partitions = PartitionManager(self._members)
+        self._next_message_id = 1
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ #
+    # Registration and connectivity
+    # ------------------------------------------------------------------ #
+    @property
+    def members(self) -> tuple[ServerId, ...]:
+        """The full cluster membership."""
+        return self._members
+
+    @property
+    def partitions(self) -> PartitionManager:
+        """The partition manager controlling reachability between cells."""
+        return self._partitions
+
+    @property
+    def fault(self) -> FaultInjector:
+        """The installed fault injector."""
+        return self._fault
+
+    def set_fault(self, fault: FaultInjector) -> None:
+        """Replace the fault injector (e.g. to start injecting message loss)."""
+        self._fault = fault
+
+    def register(self, server_id: ServerId, handler: DeliveryCallback) -> None:
+        """Register the delivery callback for a server.
+
+        The callback receives ``(src, payload)`` when a message is delivered.
+        """
+        if server_id not in self._members:
+            raise NetworkError(f"S{server_id} is not a cluster member")
+        self._handlers[server_id] = handler
+
+    def disconnect(self, server_id: ServerId) -> None:
+        """Detach a server: nothing is delivered to or accepted from it.
+
+        Used by the harness to model a crashed server; messages already in
+        flight toward the server are dropped at delivery time.
+        """
+        self._require_member(server_id)
+        self._disconnected.add(server_id)
+
+    def reconnect(self, server_id: ServerId) -> None:
+        """Re-attach a previously disconnected server."""
+        self._require_member(server_id)
+        self._disconnected.discard(server_id)
+
+    def is_connected(self, server_id: ServerId) -> bool:
+        """Whether the server is currently attached to the network."""
+        return server_id not in self._disconnected
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def send(self, src: ServerId, dst: ServerId, payload: Any) -> Envelope | None:
+        """Send one point-to-point message.
+
+        Returns the in-flight envelope, or ``None`` if the message was dropped
+        at send time (sender disconnected, or unicast fault).
+        """
+        self._require_member(src)
+        self._require_member(dst)
+        self.stats.record_sent(payload)
+        if src in self._disconnected:
+            self.stats.dropped_disconnected += 1
+            return None
+        if self._fault.drop_unicast(self._fault_rng, src, dst):
+            self.stats.dropped_by_fault += 1
+            self._world.trace("net.drop", node=src, dst=dst, reason="fault")
+            return None
+        return self._enqueue(src, dst, payload)
+
+    def broadcast(
+        self,
+        src: ServerId,
+        targets: Sequence[ServerId],
+        payload_factory: Callable[[ServerId], Any],
+    ) -> list[Envelope]:
+        """Broadcast to *targets*, applying the broadcast-omission fault model.
+
+        Args:
+            src: sending server.
+            targets: destination servers (normally every peer of *src*).
+            payload_factory: called once per reached target to build that
+                target's payload.  Leaders use this to piggyback per-follower
+                data (log entries, ESCAPE configurations) on one broadcast.
+
+        Returns:
+            The envelopes actually put in flight.
+        """
+        self._require_member(src)
+        self.stats.broadcast_count += 1
+        if src in self._disconnected:
+            self.stats.dropped_disconnected += len(targets)
+            return []
+        omitted = self._fault.omitted_broadcast_targets(
+            self._fault_rng, src, list(targets)
+        )
+        envelopes: list[Envelope] = []
+        for dst in targets:
+            payload = payload_factory(dst)
+            self.stats.record_sent(payload)
+            if dst in omitted:
+                self.stats.dropped_by_fault += 1
+                self._world.trace("net.drop", node=src, dst=dst, reason="broadcast_omission")
+                continue
+            envelope = self._enqueue(src, dst, payload)
+            if envelope is not None:
+                envelopes.append(envelope)
+        return envelopes
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, src: ServerId, dst: ServerId, payload: Any) -> Envelope | None:
+        if not self._partitions.can_communicate(src, dst):
+            self.stats.dropped_by_partition += 1
+            self._world.trace("net.drop", node=src, dst=dst, reason="partition")
+            return None
+        envelope = self._schedule_delivery(src, dst, payload)
+        duplicator = getattr(self._fault, "should_duplicate", None)
+        if duplicator is not None and duplicator(self._fault_rng, src, dst):
+            self.stats.duplicated += 1
+            self._schedule_delivery(src, dst, payload)
+        return envelope
+
+    def _schedule_delivery(self, src: ServerId, dst: ServerId, payload: Any) -> Envelope:
+        latency = self._latency.sample(self._latency_rng, src, dst)
+        now = self._world.now()
+        envelope = Envelope(
+            message_id=self._next_message_id,
+            src=src,
+            dst=dst,
+            payload=payload,
+            sent_at_ms=now,
+            deliver_at_ms=now + latency,
+        )
+        self._next_message_id += 1
+        self._world.scheduler.call_at(
+            envelope.deliver_at_ms,
+            lambda: self._deliver(envelope),
+            label=f"deliver:{type(payload).__name__}:S{src}->S{dst}",
+        )
+        return envelope
+
+    def _deliver(self, envelope: Envelope) -> None:
+        dst = envelope.dst
+        if dst in self._disconnected:
+            # The destination crashed while the message was in flight.  Messages
+            # already in flight from a server that crashes are still delivered,
+            # matching a process kill on a real network (packets on the wire
+            # are not recalled).
+            self.stats.dropped_disconnected += 1
+            return
+        if not self._partitions.can_communicate(envelope.src, dst):
+            self.stats.dropped_by_partition += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise NetworkError(f"no handler registered for S{dst}")
+        self.stats.delivered += 1
+        handler(envelope.src, envelope.payload)
+
+    def _require_member(self, server_id: ServerId) -> None:
+        if server_id not in self._members:
+            raise NetworkError(f"S{server_id} is not a cluster member")

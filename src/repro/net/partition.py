@@ -1,0 +1,79 @@
+"""Network partitions for the simulated network.
+
+A partition groups the membership into disjoint cells; messages only flow
+within a cell.  Partitions are used by the churn/ablation experiments and by
+tests exercising Raft and ESCAPE safety under network splits (Section II-B
+notes that network splits exacerbate split votes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.common.errors import NetworkError
+from repro.common.types import ServerId
+
+
+class PartitionManager:
+    """Tracks the current partitioning of the cluster.
+
+    With no partition installed every pair of servers can communicate.
+    """
+
+    def __init__(self, members: Iterable[ServerId]) -> None:
+        self._members = frozenset(members)
+        if not self._members:
+            raise NetworkError("partition manager requires at least one member")
+        self._cell_of: dict[ServerId, int] | None = None
+
+    @property
+    def members(self) -> frozenset[ServerId]:
+        """The full cluster membership this manager knows about."""
+        return self._members
+
+    @property
+    def is_partitioned(self) -> bool:
+        """Whether a partition is currently installed."""
+        return self._cell_of is not None
+
+    def partition(self, *groups: Sequence[ServerId]) -> None:
+        """Install a partition consisting of the given disjoint groups.
+
+        Members not named in any group form one extra implicit cell together.
+
+        Raises:
+            NetworkError: if a server appears in two groups or is unknown.
+        """
+        cell_of: dict[ServerId, int] = {}
+        for cell_index, group in enumerate(groups):
+            for server_id in group:
+                if server_id not in self._members:
+                    raise NetworkError(f"S{server_id} is not a cluster member")
+                if server_id in cell_of:
+                    raise NetworkError(f"S{server_id} appears in two partition groups")
+                cell_of[server_id] = cell_index
+        leftover_cell = len(groups)
+        for server_id in self._members:
+            cell_of.setdefault(server_id, leftover_cell)
+        self._cell_of = cell_of
+
+    def heal(self) -> None:
+        """Remove the current partition; all servers can communicate again."""
+        self._cell_of = None
+
+    def can_communicate(self, src: ServerId, dst: ServerId) -> bool:
+        """Whether a message from *src* can currently reach *dst*."""
+        if src not in self._members or dst not in self._members:
+            raise NetworkError(f"unknown servers S{src} or S{dst}")
+        if self._cell_of is None:
+            return True
+        return self._cell_of[src] == self._cell_of[dst]
+
+    def cell_members(self, server_id: ServerId) -> frozenset[ServerId]:
+        """Servers currently reachable from *server_id* (including itself)."""
+        if self._cell_of is None:
+            return self._members
+        cell = self._cell_of[server_id]
+        return frozenset(
+            other for other, other_cell in self._cell_of.items() if other_cell == cell
+        )

@@ -1,0 +1,77 @@
+"""The environment abstraction separating protocol logic from IO.
+
+A :class:`~repro.raft.node.RaftNode` interacts with the outside world only
+through an :class:`Environment`:
+
+* reading the current time,
+* sending a message to one peer or broadcasting to many,
+* arming and cancelling timers,
+* drawing random numbers from its private stream, and
+* emitting trace events.
+
+Two implementations exist: the simulator's
+:class:`repro.cluster.environment.SimNodeEnvironment` and the real-time
+:class:`repro.runtime.environment.AsyncNodeEnvironment`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.common.types import Milliseconds, ServerId
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable timer returned by :meth:`Environment.set_timer`."""
+
+    def cancel(self) -> None:  # pragma: no cover - protocol signature
+        """Prevent the timer from firing.  Must be idempotent."""
+        ...
+
+
+@runtime_checkable
+class Environment(Protocol):
+    """Everything a protocol node may do to the outside world."""
+
+    def now(self) -> Milliseconds:  # pragma: no cover - protocol signature
+        """Current time in milliseconds (simulated or wall-clock)."""
+        ...
+
+    def send(self, dst: ServerId, message: Any) -> None:  # pragma: no cover
+        """Send one message to one peer (fire-and-forget)."""
+        ...
+
+    def broadcast(
+        self,
+        targets: Sequence[ServerId],
+        payload_factory: Callable[[ServerId], Any],
+    ) -> None:  # pragma: no cover
+        """Send one logical broadcast.
+
+        The payload factory is invoked per target so leaders can piggyback
+        per-follower data (log entries, ESCAPE configurations); the transport
+        applies broadcast-level fault injection (Section VI-D's loss model)
+        to the broadcast as a whole.
+        """
+        ...
+
+    def set_timer(
+        self, delay_ms: Milliseconds, callback: Callable[[], None], label: str = ""
+    ) -> TimerHandle:  # pragma: no cover
+        """Arm a one-shot timer."""
+        ...
+
+    def cancel_timer(self, handle: TimerHandle) -> None:  # pragma: no cover
+        """Cancel a previously armed timer (safe to call twice)."""
+        ...
+
+    @property
+    def rng(self) -> random.Random:  # pragma: no cover
+        """This node's private random stream (timeout draws)."""
+        ...
+
+    def trace(self, category: str, **detail: Any) -> None:  # pragma: no cover
+        """Emit a structured trace event attributed to this node."""
+        ...

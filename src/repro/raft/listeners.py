@@ -1,0 +1,118 @@
+"""Observer interface for protocol events.
+
+The cluster harness attaches listeners to every node to measure exactly the
+quantities the paper's figures decompose: when the leader crash was *detected*
+(first election timeout), when each campaign started, when a new leader
+emerged, and whether votes split.  Applications can attach their own listeners
+for logging or metrics export.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.common.types import LogIndex, Milliseconds, ServerId, Term
+from repro.raft.state import Role
+
+
+@runtime_checkable
+class NodeListener(Protocol):
+    """Callbacks invoked synchronously by a node as protocol events happen."""
+
+    def on_role_change(
+        self,
+        node_id: ServerId,
+        old_role: Role,
+        new_role: Role,
+        term: Term,
+        time_ms: Milliseconds,
+    ) -> None:  # pragma: no cover - protocol signature
+        ...
+
+    def on_election_timeout(
+        self, node_id: ServerId, term: Term, attempt: int, time_ms: Milliseconds
+    ) -> None:  # pragma: no cover
+        ...
+
+    def on_election_started(
+        self, node_id: ServerId, term: Term, time_ms: Milliseconds
+    ) -> None:  # pragma: no cover
+        ...
+
+    def on_vote_granted(
+        self,
+        voter_id: ServerId,
+        candidate_id: ServerId,
+        term: Term,
+        time_ms: Milliseconds,
+    ) -> None:  # pragma: no cover
+        ...
+
+    def on_leader_elected(
+        self,
+        leader_id: ServerId,
+        term: Term,
+        votes: int,
+        time_ms: Milliseconds,
+    ) -> None:  # pragma: no cover
+        ...
+
+    def on_entry_committed(
+        self,
+        node_id: ServerId,
+        index: LogIndex,
+        term: Term,
+        time_ms: Milliseconds,
+    ) -> None:  # pragma: no cover
+        ...
+
+
+class NodeListenerBase:
+    """No-op implementation of :class:`NodeListener`; subclass what you need."""
+
+    def on_role_change(
+        self,
+        node_id: ServerId,
+        old_role: Role,
+        new_role: Role,
+        term: Term,
+        time_ms: Milliseconds,
+    ) -> None:
+        return None
+
+    def on_election_timeout(
+        self, node_id: ServerId, term: Term, attempt: int, time_ms: Milliseconds
+    ) -> None:
+        return None
+
+    def on_election_started(
+        self, node_id: ServerId, term: Term, time_ms: Milliseconds
+    ) -> None:
+        return None
+
+    def on_vote_granted(
+        self,
+        voter_id: ServerId,
+        candidate_id: ServerId,
+        term: Term,
+        time_ms: Milliseconds,
+    ) -> None:
+        return None
+
+    def on_leader_elected(
+        self,
+        leader_id: ServerId,
+        term: Term,
+        votes: int,
+        time_ms: Milliseconds,
+    ) -> None:
+        return None
+
+    def on_entry_committed(
+        self,
+        node_id: ServerId,
+        index: LogIndex,
+        term: Term,
+        time_ms: Milliseconds,
+    ) -> None:
+        return None

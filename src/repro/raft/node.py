@@ -1,0 +1,626 @@
+"""The sans-IO Raft node.
+
+:class:`RaftNode` implements the full protocol described in Section II of the
+paper: randomized election timeouts, ``RequestVote``/``AppendEntries`` RPCs,
+the three vote-granting requirements, log replication with the consistency
+check and quorum commitment, and heartbeat-based leadership maintenance.
+
+The class exposes a small set of protected extension hooks (all prefixed
+``_hook_``) that :class:`repro.escape.node.EscapeNode` overrides to implement
+the paper's contribution without touching the replication logic -- mirroring
+the paper's Lemma 2 argument that ESCAPE elections are indistinguishable from
+Raft elections on the receiving side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.common.config import ClusterConfig, ProtocolConfig
+from repro.common.errors import NotLeaderError, ProtocolError
+from repro.common.types import LogIndex, Milliseconds, ServerId, Term
+from repro.raft.election import VoteTally
+from repro.raft.environment import Environment, TimerHandle
+from repro.raft.listeners import NodeListener
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    RequestVoteRequest,
+    RequestVoteResponse,
+    RpcMessage,
+)
+from repro.raft.replication import ReplicationProgress
+from repro.raft.state import Role, is_valid_transition
+from repro.raft.timers import ElectionTimeoutPolicy, RandomizedTimeoutPolicy
+from repro.statemachine.base import StateMachine
+from repro.statemachine.kvstore import KeyValueStore
+from repro.storage.log import LogEntry
+from repro.storage.persistent import InMemoryStore, PersistentState
+
+
+class RaftNode:
+    """A single Raft server.
+
+    Args:
+        node_id: this server's identifier (``S<i>``).
+        cluster: static cluster membership.
+        env: the environment providing time, transport, timers and randomness.
+        store: durable state (defaults to a fresh in-memory store).
+        state_machine: the replicated state machine (defaults to a
+            :class:`~repro.statemachine.kvstore.KeyValueStore`).
+        timeout_policy: election-timeout policy (defaults to Raft's randomized
+            policy built from ``protocol_config.raft_timeouts``).
+        protocol_config: heartbeat interval and related timing knobs.
+        listeners: observers notified of protocol events.
+    """
+
+    protocol_name = "raft"
+
+    def __init__(
+        self,
+        node_id: ServerId,
+        cluster: ClusterConfig,
+        env: Environment,
+        store: PersistentState | None = None,
+        state_machine: StateMachine | None = None,
+        timeout_policy: ElectionTimeoutPolicy | None = None,
+        protocol_config: ProtocolConfig | None = None,
+        listeners: Iterable[NodeListener] = (),
+    ) -> None:
+        if node_id not in cluster:
+            raise ProtocolError(f"S{node_id} is not a member of the cluster")
+        self.node_id = node_id
+        self.cluster = cluster
+        self.env = env
+        self.config = protocol_config or ProtocolConfig.paper_defaults()
+        self.store = store if store is not None else InMemoryStore()
+        self.state_machine = state_machine if state_machine is not None else KeyValueStore()
+        self.timeout_policy: ElectionTimeoutPolicy = (
+            timeout_policy
+            if timeout_policy is not None
+            else RandomizedTimeoutPolicy.from_config(self.config.raft_timeouts)
+        )
+        self._listeners: list[NodeListener] = list(listeners)
+
+        # Persistent state (reloaded from the store so a recovered node keeps
+        # its promises).
+        self.current_term: Term = self.store.load_term()
+        self.voted_for: ServerId | None = self.store.load_voted_for()
+        self.log = self.store.load_log()
+
+        # Volatile state.
+        self.role: Role = Role.FOLLOWER
+        self.leader_id: ServerId | None = None
+        self.commit_index: LogIndex = 0
+        self.last_applied: LogIndex = 0
+        self.votes = VoteTally(cluster.quorum_size)
+        self.progress: ReplicationProgress | None = None
+        self.apply_results: dict[LogIndex, Any] = {}
+
+        # Timers and counters.
+        self._election_timer: TimerHandle | None = None
+        self._heartbeat_timer: TimerHandle | None = None
+        self._vote_retry_timer: TimerHandle | None = None
+        self._timeout_attempt = 0
+        self._running = False
+        self.stats: dict[str, int] = {
+            "elections_started": 0,
+            "votes_granted": 0,
+            "heartbeats_sent": 0,
+            "append_entries_received": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def is_running(self) -> bool:
+        """Whether the node is started and not crashed."""
+        return self._running
+
+    @property
+    def peers(self) -> tuple[ServerId, ...]:
+        """Every other member of the cluster."""
+        return self.cluster.peers_of(self.node_id)
+
+    def add_listener(self, listener: NodeListener) -> None:
+        """Attach an observer for protocol events."""
+        self._listeners.append(listener)
+
+    def start(self) -> None:
+        """Join the cluster as a follower and start the election timer."""
+        if self._running:
+            raise ProtocolError(f"S{self.node_id} is already running")
+        self._running = True
+        self.role = Role.FOLLOWER
+        self.leader_id = None
+        self._timeout_attempt = 0
+        self.env.trace("node.start", term=self.current_term)
+        self._reset_election_timer()
+
+    def stop(self) -> None:
+        """Stop the node (models a crash): timers are cancelled, state kept."""
+        self._running = False
+        self._cancel_election_timer()
+        self._cancel_heartbeat_timer()
+        self._cancel_vote_retry_timer()
+        self.env.trace("node.stop", term=self.current_term, role=str(self.role))
+
+    def recover(self) -> None:
+        """Restart after a crash: reload durable state and rejoin as follower.
+
+        Volatile leadership state is discarded; the persisted term, vote and
+        log survive, exactly as they would across a real process restart.
+        """
+        if self._running:
+            raise ProtocolError(f"S{self.node_id} is still running")
+        self.current_term = self.store.load_term()
+        self.voted_for = self.store.load_voted_for()
+        self.log = self.store.load_log()
+        self.commit_index = min(self.commit_index, self.log.last_index)
+        self.role = Role.FOLLOWER
+        self.leader_id = None
+        self.progress = None
+        self._timeout_attempt = 0
+        self._running = True
+        self.env.trace("node.recover", term=self.current_term)
+        self._reset_election_timer()
+
+    # ------------------------------------------------------------------ #
+    # Client interface
+    # ------------------------------------------------------------------ #
+    def propose(self, command: Any) -> LogIndex:
+        """Append a client command to the leader's log and start replicating it.
+
+        Returns:
+            The log index assigned to the command.
+
+        Raises:
+            NotLeaderError: if this node is not currently the leader.
+        """
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(self.node_id, self.leader_id)
+        entry = self.log.append_command(self.current_term, command)
+        self.store.save_log(self.log)
+        assert self.progress is not None
+        self.progress.record_local_append(entry.index)
+        self.env.trace("log.propose", index=entry.index, term=entry.term)
+        if self.cluster.quorum_size == 1:
+            self._advance_commit_index()
+        else:
+            self._replicate_to_followers()
+        return entry.index
+
+    def result_for(self, index: LogIndex) -> Any:
+        """Result produced by the state machine for the entry at *index*.
+
+        Raises:
+            ProtocolError: if the entry has not been applied yet.
+        """
+        if index not in self.apply_results:
+            raise ProtocolError(f"entry {index} has not been applied on S{self.node_id}")
+        return self.apply_results[index]
+
+    # ------------------------------------------------------------------ #
+    # Message dispatch
+    # ------------------------------------------------------------------ #
+    def on_message(self, src: ServerId, message: RpcMessage) -> None:
+        """Entry point for every message delivered to this node."""
+        if not self._running:
+            return
+        if isinstance(message, RequestVoteRequest):
+            self._handle_request_vote(src, message)
+        elif isinstance(message, RequestVoteResponse):
+            self._handle_request_vote_response(src, message)
+        elif isinstance(message, AppendEntriesRequest):
+            self._handle_append_entries(src, message)
+        elif isinstance(message, AppendEntriesResponse):
+            self._handle_append_entries_response(src, message)
+        else:
+            raise ProtocolError(f"unknown message type {type(message).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Leader election: timeouts and campaigns
+    # ------------------------------------------------------------------ #
+    def _on_election_timeout(self) -> None:
+        if not self._running or self.role is Role.LEADER:
+            return
+        attempt = self._timeout_attempt
+        self._timeout_attempt += 1
+        self.env.trace("election.timeout", term=self.current_term, attempt=attempt)
+        for listener in self._listeners:
+            listener.on_election_timeout(
+                self.node_id, self.current_term, attempt, self.env.now()
+            )
+        self._start_election()
+
+    def _start_election(self) -> None:
+        """Transition to candidate and broadcast vote requests (one campaign)."""
+        new_term = self._hook_next_election_term()
+        if new_term <= self.current_term:
+            raise ProtocolError(
+                f"campaign term must increase: {new_term} <= {self.current_term}"
+            )
+        self.current_term = new_term
+        self.voted_for = self.node_id
+        self.store.save_term_and_vote(self.current_term, self.voted_for)
+        self._change_role(Role.CANDIDATE)
+        self.leader_id = None
+        self.votes.start_campaign(new_term)
+        self.votes.record_vote(new_term, self.node_id)
+        self.stats["elections_started"] += 1
+        self.env.trace("election.start", term=new_term)
+        for listener in self._listeners:
+            listener.on_election_started(self.node_id, new_term, self.env.now())
+        self._reset_election_timer()
+        request = self._hook_make_vote_request()
+        self.env.broadcast(list(self.peers), lambda dst: request)
+        self._schedule_vote_retry()
+        if self.votes.has_quorum():
+            # Single-node cluster: the candidate's own vote is already a quorum.
+            self._become_leader()
+
+    def _schedule_vote_retry(self) -> None:
+        """Arm the within-campaign RequestVote retransmission timer."""
+        self._cancel_vote_retry_timer()
+        self._vote_retry_timer = self.env.set_timer(
+            self.config.vote_retry_interval_ms,
+            self._retry_vote_requests,
+            label="vote-retry",
+        )
+
+    def _retry_vote_requests(self) -> None:
+        """Retransmit the campaign's RequestVote to peers that have not granted.
+
+        Raft candidates keep soliciting votes until the campaign ends; the
+        retransmission makes a campaign robust to lost broadcasts (duplicate
+        requests are harmless because voters answer them idempotently).
+        """
+        if not self._running or self.role is not Role.CANDIDATE:
+            return
+        pending = [peer for peer in self.peers if peer not in self.votes.votes]
+        if pending:
+            request = self._hook_make_vote_request()
+            self.env.broadcast(pending, lambda dst: request)
+            self.env.trace("election.vote_retry", term=self.current_term, pending=len(pending))
+        self._schedule_vote_retry()
+
+    def _handle_request_vote(self, src: ServerId, request: RequestVoteRequest) -> None:
+        if request.term < self.current_term:
+            self.env.send(
+                src,
+                RequestVoteResponse(
+                    term=self.current_term, voter_id=self.node_id, vote_granted=False
+                ),
+            )
+            return
+        if request.term > self.current_term:
+            self._observe_higher_term(request.term)
+        log_ok = self.log.candidate_is_acceptable(
+            request.last_log_term, request.last_log_index
+        )
+        not_yet_voted = self.voted_for is None or self.voted_for == request.candidate_id
+        extra_ok = self._hook_may_grant_vote(request)
+        granted = log_ok and not_yet_voted and extra_ok and self.role is not Role.LEADER
+        if granted:
+            self.voted_for = request.candidate_id
+            self.store.save_term_and_vote(self.current_term, self.voted_for)
+            self.stats["votes_granted"] += 1
+            # Granting a vote counts as hearing from a viable leader candidate,
+            # so the follower's failure-detection timer restarts.
+            self._reset_election_timer()
+            for listener in self._listeners:
+                listener.on_vote_granted(
+                    self.node_id, request.candidate_id, self.current_term, self.env.now()
+                )
+        self.env.trace(
+            "election.vote",
+            candidate=request.candidate_id,
+            term=self.current_term,
+            granted=granted,
+            log_ok=log_ok,
+            not_yet_voted=not_yet_voted,
+            extra_ok=extra_ok,
+        )
+        self.env.send(
+            src,
+            RequestVoteResponse(
+                term=self.current_term, voter_id=self.node_id, vote_granted=granted
+            ),
+        )
+
+    def _handle_request_vote_response(
+        self, src: ServerId, response: RequestVoteResponse
+    ) -> None:
+        if response.term > self.current_term:
+            self._observe_higher_term(response.term)
+            return
+        if self.role is not Role.CANDIDATE or response.term != self.current_term:
+            return
+        if not response.vote_granted:
+            return
+        self.votes.record_vote(response.term, response.voter_id)
+        if self.votes.has_quorum():
+            self._become_leader()
+
+    # ------------------------------------------------------------------ #
+    # Log replication: AppendEntries
+    # ------------------------------------------------------------------ #
+    def _handle_append_entries(self, src: ServerId, request: AppendEntriesRequest) -> None:
+        self.stats["append_entries_received"] += 1
+        if request.term < self.current_term:
+            self.env.send(
+                src,
+                self._hook_make_append_response(
+                    request, success=False, match_index=self.log.last_index
+                ),
+            )
+            return
+        if request.term > self.current_term:
+            self._observe_higher_term(request.term)
+        # Same term: a candidate that sees a legitimate leader steps down.
+        if self.role is not Role.FOLLOWER:
+            self._change_role(Role.FOLLOWER)
+        self.leader_id = request.leader_id
+        self._timeout_attempt = 0
+        # The hook runs before the timer reset so a configuration carried by
+        # this heartbeat (ESCAPE's PPF piggyback) takes effect for the very
+        # next election-timeout wait.
+        self._hook_on_leader_heartbeat(request)
+        self._reset_election_timer()
+
+        if not self.log.matches(request.prev_log_index, request.prev_log_term):
+            self.env.trace(
+                "log.reject",
+                leader=request.leader_id,
+                prev_index=request.prev_log_index,
+                prev_term=request.prev_log_term,
+            )
+            response = self._hook_make_append_response(
+                request, success=False, match_index=self.log.last_index
+            )
+            self.env.send(src, response)
+            return
+
+        if request.entries:
+            changed = self.log.merge_entries(request.prev_log_index, list(request.entries))
+            if changed:
+                self.store.save_log(self.log)
+        if request.leader_commit > self.commit_index:
+            self.commit_index = min(request.leader_commit, self.log.last_index)
+            self._apply_committed_entries()
+        match_index = request.prev_log_index + len(request.entries)
+        response = self._hook_make_append_response(
+            request, success=True, match_index=match_index
+        )
+        self.env.send(src, response)
+
+    def _handle_append_entries_response(
+        self, src: ServerId, response: AppendEntriesResponse
+    ) -> None:
+        if response.term > self.current_term:
+            self._observe_higher_term(response.term)
+            return
+        if self.role is not Role.LEADER or response.term != self.current_term:
+            return
+        assert self.progress is not None
+        self._hook_on_append_response(src, response)
+        if response.success:
+            self.progress.record_success(src, response.match_index, self.env.now())
+            self._advance_commit_index()
+        else:
+            self.progress.record_failure(src, response.match_index, self.env.now())
+
+    # ------------------------------------------------------------------ #
+    # Role transitions
+    # ------------------------------------------------------------------ #
+    def _become_leader(self) -> None:
+        self._change_role(Role.LEADER)
+        self.leader_id = self.node_id
+        self._timeout_attempt = 0
+        self._cancel_election_timer()
+        self.progress = ReplicationProgress(
+            self.node_id, self.peers, self.log.last_index
+        )
+        self.env.trace("election.won", term=self.current_term, votes=self.votes.count)
+        for listener in self._listeners:
+            listener.on_leader_elected(
+                self.node_id, self.current_term, self.votes.count, self.env.now()
+            )
+        self._hook_on_become_leader()
+        self._send_heartbeats()
+
+    def _observe_higher_term(self, term: Term) -> None:
+        """Adopt a higher term seen in any message (Raft rule / paper Eq. 3)."""
+        if term <= self.current_term:
+            return
+        self.current_term = term
+        self.voted_for = None
+        self.store.save_term_and_vote(self.current_term, self.voted_for)
+        if self.role is not Role.FOLLOWER:
+            self._change_role(Role.FOLLOWER)
+            self.leader_id = None
+            self._reset_election_timer()
+        self._hook_on_term_adopted(term)
+
+    def _change_role(self, new_role: Role) -> None:
+        old_role = self.role
+        if old_role is new_role:
+            return
+        if not is_valid_transition(old_role, new_role):
+            raise ProtocolError(
+                f"S{self.node_id}: invalid role transition {old_role} -> {new_role}"
+            )
+        self.role = new_role
+        if old_role is Role.CANDIDATE:
+            self._cancel_vote_retry_timer()
+        if old_role is Role.LEADER:
+            self._cancel_heartbeat_timer()
+            self.progress = None
+        if new_role is not Role.LEADER and self._election_timer is None and self._running:
+            self._reset_election_timer()
+        self.env.trace("role.change", old=str(old_role), new=str(new_role), term=self.current_term)
+        for listener in self._listeners:
+            listener.on_role_change(
+                self.node_id, old_role, new_role, self.current_term, self.env.now()
+            )
+
+    # ------------------------------------------------------------------ #
+    # Leader: heartbeats and replication
+    # ------------------------------------------------------------------ #
+    def _send_heartbeats(self) -> None:
+        if not self._running or self.role is not Role.LEADER:
+            return
+        self._hook_before_heartbeat_round()
+        self.stats["heartbeats_sent"] += 1
+        self.env.broadcast(list(self.peers), self._build_append_entries_for)
+        self._heartbeat_timer = self.env.set_timer(
+            self.config.heartbeat_interval_ms, self._send_heartbeats, label="heartbeat"
+        )
+
+    def _replicate_to_followers(self) -> None:
+        """Push fresh entries immediately (without waiting for the heartbeat)."""
+        if self.role is not Role.LEADER:
+            return
+        self.env.broadcast(list(self.peers), self._build_append_entries_for)
+
+    def _build_append_entries_for(self, follower: ServerId) -> AppendEntriesRequest:
+        assert self.progress is not None
+        next_index = self.progress.next_index(follower)
+        prev_index = next_index - 1
+        prev_term = self.log.term_at(prev_index) if prev_index <= self.log.last_index else 0
+        entries = tuple(
+            self.log.entries_from(next_index, limit=self.config.max_entries_per_append)
+        )
+        request = AppendEntriesRequest(
+            term=self.current_term,
+            leader_id=self.node_id,
+            prev_log_index=prev_index,
+            prev_log_term=prev_term,
+            entries=entries,
+            leader_commit=self.commit_index,
+        )
+        return self._hook_decorate_append_request(request, follower)
+
+    def _advance_commit_index(self) -> None:
+        assert self.progress is not None
+        new_commit = self.progress.commit_index_for_quorum(
+            self.cluster.quorum_size, self.log, self.current_term
+        )
+        if new_commit > self.commit_index:
+            self.commit_index = new_commit
+            self._apply_committed_entries()
+
+    def _apply_committed_entries(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log.entry_at(self.last_applied)
+            result = self.state_machine.apply(entry.command)
+            self.apply_results[entry.index] = result
+            self.env.trace("log.apply", index=entry.index, term=entry.term)
+            for listener in self._listeners:
+                listener.on_entry_committed(
+                    self.node_id, entry.index, entry.term, self.env.now()
+                )
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+    def _reset_election_timer(self) -> None:
+        self._cancel_election_timer()
+        timeout = self._hook_election_timeout_ms()
+        self._election_timer = self.env.set_timer(
+            timeout, self._on_election_timeout, label="election-timeout"
+        )
+
+    def _cancel_election_timer(self) -> None:
+        if self._election_timer is not None:
+            self.env.cancel_timer(self._election_timer)
+            self._election_timer = None
+
+    def _cancel_heartbeat_timer(self) -> None:
+        if self._heartbeat_timer is not None:
+            self.env.cancel_timer(self._heartbeat_timer)
+            self._heartbeat_timer = None
+
+    def _cancel_vote_retry_timer(self) -> None:
+        if self._vote_retry_timer is not None:
+            self.env.cancel_timer(self._vote_retry_timer)
+            self._vote_retry_timer = None
+
+    # ------------------------------------------------------------------ #
+    # Extension hooks overridden by ESCAPE and Z-Raft
+    # ------------------------------------------------------------------ #
+    def _hook_next_election_term(self) -> Term:
+        """Term used for the next campaign.  Raft: ``current_term + 1``."""
+        return self.current_term + 1
+
+    def _hook_election_timeout_ms(self) -> Milliseconds:
+        """Length of the next election-timeout wait."""
+        return self.timeout_policy.next_timeout_ms(self.env.rng, self._timeout_attempt)
+
+    def _hook_may_grant_vote(self, request: RequestVoteRequest) -> bool:
+        """Protocol-specific extra vote checks (ESCAPE: configuration clock)."""
+        return True
+
+    def _hook_make_vote_request(self) -> RequestVoteRequest:
+        """Build this candidate's vote solicitation."""
+        return RequestVoteRequest(
+            term=self.current_term,
+            candidate_id=self.node_id,
+            last_log_index=self.log.last_index,
+            last_log_term=self.log.last_term,
+        )
+
+    def _hook_decorate_append_request(
+        self, request: AppendEntriesRequest, follower: ServerId
+    ) -> AppendEntriesRequest:
+        """Let subclasses piggyback data on an outgoing AppendEntries."""
+        return request
+
+    def _hook_make_append_response(
+        self, request: AppendEntriesRequest, success: bool, match_index: LogIndex
+    ) -> AppendEntriesResponse:
+        """Build the reply to an AppendEntries request."""
+        return AppendEntriesResponse(
+            term=self.current_term,
+            follower_id=self.node_id,
+            success=success,
+            match_index=match_index,
+        )
+
+    def _hook_on_leader_heartbeat(self, request: AppendEntriesRequest) -> None:
+        """Called on the follower whenever a legitimate leader is heard."""
+        return None
+
+    def _hook_on_append_response(
+        self, src: ServerId, response: AppendEntriesResponse
+    ) -> None:
+        """Called on the leader for every AppendEntries reply (PPF tracking)."""
+        return None
+
+    def _hook_before_heartbeat_round(self) -> None:
+        """Called on the leader right before each heartbeat broadcast."""
+        return None
+
+    def _hook_on_become_leader(self) -> None:
+        """Called when this node wins an election."""
+        return None
+
+    def _hook_on_term_adopted(self, term: Term) -> None:
+        """Called after adopting a higher term from a received message."""
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Debugging helpers
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """One-line summary used by examples and debugging sessions."""
+        return (
+            f"S{self.node_id}[{self.protocol_name}] role={self.role} "
+            f"term={self.current_term} log=({self.log.last_index},{self.log.last_term}) "
+            f"commit={self.commit_index}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"

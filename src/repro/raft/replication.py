@@ -1,0 +1,121 @@
+"""Leader-side replication bookkeeping (``nextIndex`` / ``matchIndex``).
+
+The :class:`ReplicationProgress` tracks, for every follower, the next log
+index to send and the highest index known to be replicated, and computes the
+commit index as the highest index stored on a quorum -- restricted, per Raft's
+commitment rule, to entries of the current term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.common.errors import ProtocolError
+from repro.common.types import LogIndex, ServerId, Term
+from repro.storage.log import ReplicatedLog
+
+
+@dataclass
+class PeerProgress:
+    """Replication progress of a single follower."""
+
+    next_index: LogIndex
+    match_index: LogIndex = 0
+    last_response_ms: float | None = None
+
+    def record_success(self, match_index: LogIndex, now_ms: float | None = None) -> None:
+        """A successful AppendEntries response confirmed *match_index*."""
+        self.match_index = max(self.match_index, match_index)
+        self.next_index = max(self.next_index, self.match_index + 1)
+        self.last_response_ms = now_ms
+
+    def record_failure(
+        self, follower_last_index: LogIndex, now_ms: float | None = None
+    ) -> None:
+        """A failed consistency check: rewind ``next_index``.
+
+        The follower includes its last log index in the reply, letting the
+        leader skip the entire missing suffix in one step instead of
+        decrementing one index per round trip.
+        """
+        self.next_index = max(1, min(self.next_index - 1, follower_last_index + 1))
+        self.last_response_ms = now_ms
+
+
+class ReplicationProgress:
+    """Tracks every follower's progress and derives the commit index."""
+
+    def __init__(self, leader_id: ServerId, peers: Iterable[ServerId], last_log_index: LogIndex) -> None:
+        self._leader_id = leader_id
+        self._peers: dict[ServerId, PeerProgress] = {
+            peer: PeerProgress(next_index=last_log_index + 1) for peer in peers
+        }
+        self._leader_match_index: LogIndex = last_log_index
+
+    @property
+    def peers(self) -> Mapping[ServerId, PeerProgress]:
+        """Progress per follower (read-only view)."""
+        return dict(self._peers)
+
+    def progress_of(self, peer: ServerId) -> PeerProgress:
+        """The progress record of one follower."""
+        try:
+            return self._peers[peer]
+        except KeyError as exc:
+            raise ProtocolError(f"S{peer} is not a tracked follower") from exc
+
+    def next_index(self, peer: ServerId) -> LogIndex:
+        """The next log index to send to *peer*."""
+        return self.progress_of(peer).next_index
+
+    def match_index(self, peer: ServerId) -> LogIndex:
+        """The highest index known replicated on *peer*."""
+        return self.progress_of(peer).match_index
+
+    def record_local_append(self, last_log_index: LogIndex) -> None:
+        """The leader appended up to *last_log_index* locally."""
+        self._leader_match_index = max(self._leader_match_index, last_log_index)
+
+    def record_success(
+        self, peer: ServerId, match_index: LogIndex, now_ms: float | None = None
+    ) -> None:
+        """Record a successful AppendEntries response from *peer*."""
+        self.progress_of(peer).record_success(match_index, now_ms)
+
+    def record_failure(
+        self, peer: ServerId, follower_last_index: LogIndex, now_ms: float | None = None
+    ) -> None:
+        """Record a failed AppendEntries response from *peer*."""
+        self.progress_of(peer).record_failure(follower_last_index, now_ms)
+
+    def commit_index_for_quorum(
+        self, quorum_size: int, log: ReplicatedLog, current_term: Term
+    ) -> LogIndex:
+        """Highest index replicated on a quorum whose entry is from *current_term*.
+
+        Raft only commits entries of the leader's current term by counting
+        replicas; earlier-term entries become committed implicitly.  This is
+        the rule that prevents the "figure 8" scenario of the Raft paper.
+        """
+        match_indexes = sorted(
+            [self._leader_match_index]
+            + [progress.match_index for progress in self._peers.values()],
+            reverse=True,
+        )
+        if quorum_size > len(match_indexes):
+            return 0
+        candidate_index = match_indexes[quorum_size - 1]
+        while candidate_index > 0:
+            if log.has_entry(candidate_index) and log.term_at(candidate_index) == current_term:
+                return candidate_index
+            candidate_index -= 1
+        return 0
+
+    def stale_followers(self, last_log_index: LogIndex) -> list[ServerId]:
+        """Followers whose known match index is behind the leader's log tail."""
+        return [
+            peer
+            for peer, progress in self._peers.items()
+            if progress.match_index < last_log_index
+        ]

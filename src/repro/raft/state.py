@@ -1,0 +1,40 @@
+"""Server roles and role transitions.
+
+Raft deploys three server states -- leader, follower, candidate -- with the
+transitions shown in Figure 1 of the paper.  The enum is shared by Raft,
+ESCAPE and Z-Raft nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Role(enum.Enum):
+    """The role a server currently assumes."""
+
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# The transitions permitted by the protocol.  ``LEADER -> CANDIDATE`` is absent
+# on purpose: a deposed leader always steps down to follower first.
+ALLOWED_TRANSITIONS: frozenset[tuple[Role, Role]] = frozenset(
+    {
+        (Role.FOLLOWER, Role.CANDIDATE),
+        (Role.CANDIDATE, Role.CANDIDATE),  # new campaign after a failed one
+        (Role.CANDIDATE, Role.LEADER),
+        (Role.CANDIDATE, Role.FOLLOWER),
+        (Role.LEADER, Role.FOLLOWER),
+        (Role.FOLLOWER, Role.FOLLOWER),  # term updates while staying follower
+    }
+)
+
+
+def is_valid_transition(old: Role, new: Role) -> bool:
+    """Whether the protocol permits moving from *old* to *new*."""
+    return (old, new) in ALLOWED_TRANSITIONS

@@ -1,0 +1,30 @@
+"""Real-time asyncio runtime for the protocol nodes.
+
+The same sans-IO nodes that the discrete-event simulator drives can run on
+real sockets and wall-clock timers.  This package provides:
+
+* :mod:`repro.runtime.codec` -- JSON serialisation of every protocol message;
+* :mod:`repro.runtime.transport` -- a UDP/JSON transport with an optional
+  artificial latency and loss injector (a NetEm stand-in on localhost);
+* :mod:`repro.runtime.environment` -- the asyncio implementation of the node
+  :class:`~repro.raft.environment.Environment`;
+* :mod:`repro.runtime.cluster` -- a convenience launcher that runs a whole
+  Raft/ESCAPE/Z-Raft cluster inside one event loop on localhost.
+
+The runtime exists to demonstrate the protocols end-to-end on a real network
+stack (see ``examples/live_asyncio_cluster.py``); the quantitative experiments
+use the simulator, which exercises the identical protocol code.
+"""
+
+from repro.runtime.cluster import LocalAsyncCluster
+from repro.runtime.codec import decode_message, encode_message
+from repro.runtime.environment import AsyncNodeEnvironment
+from repro.runtime.transport import UdpJsonTransport
+
+__all__ = [
+    "AsyncNodeEnvironment",
+    "LocalAsyncCluster",
+    "UdpJsonTransport",
+    "decode_message",
+    "encode_message",
+]

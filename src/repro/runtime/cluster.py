@@ -1,0 +1,210 @@
+"""Run a whole consensus cluster on localhost UDP inside one event loop.
+
+:class:`LocalAsyncCluster` is the live counterpart of
+:class:`repro.cluster.builder.SimulatedCluster`: it instantiates the same node
+classes, but wires them to UDP sockets and wall-clock timers.  It is used by
+``examples/live_asyncio_cluster.py`` and by a (small, time-bounded)
+integration test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.common.config import ClusterConfig, ProtocolConfig, RaftTimeoutConfig, ScaParameters
+from repro.common.errors import ClusterError, ConfigurationError
+from repro.common.rng import SeedSequence
+from repro.common.types import Milliseconds, ServerId
+from repro.escape.node import EscapeNode
+from repro.raft.node import RaftNode
+from repro.raft.state import Role
+from repro.runtime.environment import AsyncNodeEnvironment
+from repro.runtime.transport import UdpJsonTransport
+from repro.statemachine.kvstore import KeyValueStore
+from repro.storage.persistent import InMemoryStore
+from repro.zraft.node import ZRaftNode
+
+_NODE_CLASSES: dict[str, type[RaftNode]] = {
+    "raft": RaftNode,
+    "escape": EscapeNode,
+    "zraft": ZRaftNode,
+}
+
+
+class LocalAsyncCluster:
+    """A Raft/ESCAPE/Z-Raft cluster running live on localhost UDP.
+
+    Args:
+        protocol: ``"raft"``, ``"escape"`` or ``"zraft"``.
+        size: number of servers.
+        base_port: UDP port of ``S1``; ``S<i>`` binds ``base_port + i - 1``.
+        seed: seed for every node's private random stream.
+        heartbeat_interval_ms / election timeouts: real-time deployments want
+            much tighter timers than the paper's geo-emulation, so the
+            defaults here are scaled down (50 ms heartbeats, 200-400 ms
+            timeouts, SCA base 200 ms / k 60 ms) to keep the examples snappy.
+        latency_range_ms: optional artificial one-way latency injected by the
+            transport (``None`` = raw loopback latency).
+        loss_rate: optional i.i.d. message loss injected by the transport.
+    """
+
+    def __init__(
+        self,
+        protocol: str = "escape",
+        size: int = 5,
+        base_port: int = 29100,
+        seed: int = 0,
+        heartbeat_interval_ms: Milliseconds = 50.0,
+        raft_timeout_range: tuple[Milliseconds, Milliseconds] = (200.0, 400.0),
+        sca: ScaParameters | None = None,
+        latency_range_ms: tuple[Milliseconds, Milliseconds] | None = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if protocol not in _NODE_CLASSES:
+            raise ConfigurationError(f"unknown protocol {protocol!r}")
+        self.protocol = protocol
+        self.config = ClusterConfig.of_size(size)
+        self._seed = seed
+        self._protocol_config = ProtocolConfig(
+            heartbeat_interval_ms=heartbeat_interval_ms,
+            vote_retry_interval_ms=max(heartbeat_interval_ms, 50.0),
+            raft_timeouts=RaftTimeoutConfig(*raft_timeout_range),
+            sca=sca if sca is not None else ScaParameters(base_time_ms=200.0, k_ms=60.0),
+        )
+        self._address_book: dict[ServerId, tuple[str, int]] = {
+            server_id: ("127.0.0.1", base_port + server_id - 1)
+            for server_id in self.config.server_ids
+        }
+        self._latency_range_ms = latency_range_ms
+        self._loss_rate = loss_rate
+        self.transports: dict[ServerId, UdpJsonTransport] = {}
+        self.nodes: dict[ServerId, RaftNode] = {}
+        self.trace_log: list[tuple[float, ServerId, str, dict[str, Any]]] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind every socket and start every node."""
+        if self._started:
+            raise ClusterError("cluster is already started")
+        seeds = SeedSequence(self._seed)
+        for server_id in self.config.server_ids:
+            node_holder: dict[str, RaftNode] = {}
+
+            def deliver(src: ServerId, message: Any, holder: dict[str, RaftNode] = node_holder) -> None:
+                node = holder.get("node")
+                if node is not None:
+                    node.on_message(src, message)
+
+            transport = UdpJsonTransport(
+                node_id=server_id,
+                address_book=self._address_book,
+                on_message=deliver,
+                latency_range_ms=self._latency_range_ms,
+                loss_rate=self._loss_rate,
+                rng=seeds.stream("transport", server_id),
+            )
+            await transport.start()
+            env = AsyncNodeEnvironment(
+                node_id=server_id,
+                transport=transport,
+                rng=seeds.stream("node", server_id),
+                trace_log=self.trace_log,
+            )
+            node_class = _NODE_CLASSES[self.protocol]
+            node = node_class(
+                node_id=server_id,
+                cluster=self.config,
+                env=env,
+                store=InMemoryStore(),
+                state_machine=KeyValueStore(),
+                protocol_config=self._protocol_config,
+            )
+            node_holder["node"] = node
+            self.transports[server_id] = transport
+            self.nodes[server_id] = node
+        for node in self.nodes.values():
+            node.start()
+        self._started = True
+
+    async def shutdown(self) -> None:
+        """Stop every node and close every socket."""
+        for node in self.nodes.values():
+            if node.is_running:
+                node.stop()
+        for transport in self.transports.values():
+            transport.close()
+        # Give the loop one tick to flush closing transports.
+        await asyncio.sleep(0)
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Leadership helpers
+    # ------------------------------------------------------------------ #
+    def leader(self) -> RaftNode | None:
+        """The running leader with the highest term, if any."""
+        leaders = [
+            node
+            for node in self.nodes.values()
+            if node.is_running and node.role is Role.LEADER
+        ]
+        if not leaders:
+            return None
+        return max(leaders, key=lambda node: node.current_term)
+
+    async def wait_for_leader(
+        self, timeout_ms: Milliseconds = 10_000.0, exclude: ServerId | None = None
+    ) -> RaftNode:
+        """Wait (polling) until a leader other than *exclude* emerges."""
+        deadline = asyncio.get_running_loop().time() + timeout_ms / 1000.0
+        while True:
+            leader = self.leader()
+            if leader is not None and leader.node_id != exclude:
+                return leader
+            if asyncio.get_running_loop().time() > deadline:
+                raise ClusterError(f"no leader emerged within {timeout_ms} ms")
+            await asyncio.sleep(0.01)
+
+    def crash(self, server_id: ServerId) -> None:
+        """Crash one node: stop it and close its socket."""
+        node = self.nodes[server_id]
+        if node.is_running:
+            node.stop()
+        self.transports[server_id].close()
+
+    async def crash_leader_and_wait(
+        self, timeout_ms: Milliseconds = 10_000.0
+    ) -> tuple[ServerId, RaftNode, Milliseconds]:
+        """Crash the current leader and wait for its successor.
+
+        Returns:
+            ``(crashed_leader_id, new_leader, failover_ms)``.
+        """
+        leader = self.leader()
+        if leader is None:
+            raise ClusterError("no leader to crash")
+        crashed = leader.node_id
+        started = asyncio.get_running_loop().time()
+        self.crash(crashed)
+        new_leader = await self.wait_for_leader(timeout_ms=timeout_ms, exclude=crashed)
+        failover_ms = (asyncio.get_running_loop().time() - started) * 1000.0
+        return crashed, new_leader, failover_ms
+
+    # ------------------------------------------------------------------ #
+    # Client helpers
+    # ------------------------------------------------------------------ #
+    async def propose_and_wait(
+        self, command: Any, timeout_ms: Milliseconds = 5_000.0
+    ) -> Any:
+        """Propose a command on the leader and wait until it is applied there."""
+        leader = await self.wait_for_leader(timeout_ms=timeout_ms)
+        index = leader.propose(command)
+        deadline = asyncio.get_running_loop().time() + timeout_ms / 1000.0
+        while leader.last_applied < index:
+            if asyncio.get_running_loop().time() > deadline:
+                raise ClusterError(f"command at index {index} was not applied in time")
+            await asyncio.sleep(0.005)
+        return leader.result_for(index)

@@ -1,0 +1,207 @@
+"""JSON codec for protocol messages.
+
+The simulator passes message objects by reference; the asyncio runtime needs a
+wire format.  Every RPC dataclass (Raft and ESCAPE) is encoded as a JSON
+object carrying a ``type`` discriminator plus its fields; nested value objects
+(log entries, configurations, config statuses) are encoded structurally.
+Commands inside log entries must themselves be JSON-serialisable (the
+key-value commands in :mod:`repro.statemachine.kvstore` provide ``to_dict``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import ProtocolError
+from repro.escape.configuration import ConfigStatus, Configuration
+from repro.escape.messages import (
+    EscapeAppendEntriesRequest,
+    EscapeAppendEntriesResponse,
+    EscapeRequestVoteRequest,
+)
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    RequestVoteRequest,
+    RequestVoteResponse,
+)
+from repro.storage.log import LogEntry
+
+#: Message classes the codec understands, keyed by their wire discriminator.
+MESSAGE_TYPES: dict[str, type] = {
+    "RequestVoteRequest": RequestVoteRequest,
+    "RequestVoteResponse": RequestVoteResponse,
+    "AppendEntriesRequest": AppendEntriesRequest,
+    "AppendEntriesResponse": AppendEntriesResponse,
+    "EscapeRequestVoteRequest": EscapeRequestVoteRequest,
+    "EscapeAppendEntriesRequest": EscapeAppendEntriesRequest,
+    "EscapeAppendEntriesResponse": EscapeAppendEntriesResponse,
+}
+
+
+def _encode_entry(entry: LogEntry) -> dict[str, Any]:
+    command = entry.command
+    if hasattr(command, "to_dict"):
+        # Key-value commands (and any user command following the same
+        # convention) provide their own JSON representation; the state machine
+        # accepts the dict form on the receiving side.
+        command = command.to_dict()
+    return {"term": entry.term, "index": entry.index, "command": command}
+
+
+def _decode_entry(payload: dict[str, Any]) -> LogEntry:
+    return LogEntry(
+        term=int(payload["term"]),
+        index=int(payload["index"]),
+        command=payload.get("command"),
+    )
+
+
+def _encode_configuration(configuration: Configuration | None) -> dict[str, Any] | None:
+    if configuration is None:
+        return None
+    return {
+        "priority": configuration.priority,
+        "timer_period_ms": configuration.timer_period_ms,
+        "conf_clock": configuration.conf_clock,
+    }
+
+
+def _decode_configuration(payload: dict[str, Any] | None) -> Configuration | None:
+    if payload is None:
+        return None
+    return Configuration(
+        priority=int(payload["priority"]),
+        timer_period_ms=float(payload["timer_period_ms"]),
+        conf_clock=int(payload["conf_clock"]),
+    )
+
+
+def _encode_config_status(status: ConfigStatus | None) -> dict[str, Any] | None:
+    if status is None:
+        return None
+    return {
+        "log_index": status.log_index,
+        "timer_period_ms": status.timer_period_ms,
+        "conf_clock": status.conf_clock,
+    }
+
+
+def _decode_config_status(payload: dict[str, Any] | None) -> ConfigStatus | None:
+    if payload is None:
+        return None
+    return ConfigStatus(
+        log_index=int(payload["log_index"]),
+        timer_period_ms=float(payload["timer_period_ms"]),
+        conf_clock=int(payload["conf_clock"]),
+    )
+
+
+def encode_message(message: Any) -> dict[str, Any]:
+    """Encode a protocol message as a JSON-serialisable dict."""
+    name = type(message).__name__
+    if name not in MESSAGE_TYPES:
+        raise ProtocolError(f"cannot encode message type {name}")
+    payload: dict[str, Any] = {"type": name, "term": message.term}
+    if isinstance(message, RequestVoteRequest):
+        payload.update(
+            candidate_id=message.candidate_id,
+            last_log_index=message.last_log_index,
+            last_log_term=message.last_log_term,
+        )
+        if isinstance(message, EscapeRequestVoteRequest):
+            payload.update(conf_clock=message.conf_clock, priority=message.priority)
+    elif isinstance(message, RequestVoteResponse):
+        payload.update(voter_id=message.voter_id, vote_granted=message.vote_granted)
+    elif isinstance(message, AppendEntriesRequest):
+        payload.update(
+            leader_id=message.leader_id,
+            prev_log_index=message.prev_log_index,
+            prev_log_term=message.prev_log_term,
+            entries=[_encode_entry(entry) for entry in message.entries],
+            leader_commit=message.leader_commit,
+        )
+        if isinstance(message, EscapeAppendEntriesRequest):
+            payload.update(new_config=_encode_configuration(message.new_config))
+    elif isinstance(message, AppendEntriesResponse):
+        payload.update(
+            follower_id=message.follower_id,
+            success=message.success,
+            match_index=message.match_index,
+        )
+        if isinstance(message, EscapeAppendEntriesResponse):
+            payload.update(config_status=_encode_config_status(message.config_status))
+    return payload
+
+
+def decode_message(payload: dict[str, Any]) -> Any:
+    """Rebuild a protocol message from its JSON representation."""
+    name = payload.get("type")
+    if name not in MESSAGE_TYPES:
+        raise ProtocolError(f"cannot decode message type {name!r}")
+    term = int(payload["term"])
+    if name == "RequestVoteRequest":
+        return RequestVoteRequest(
+            term=term,
+            candidate_id=int(payload["candidate_id"]),
+            last_log_index=int(payload["last_log_index"]),
+            last_log_term=int(payload["last_log_term"]),
+        )
+    if name == "EscapeRequestVoteRequest":
+        return EscapeRequestVoteRequest(
+            term=term,
+            candidate_id=int(payload["candidate_id"]),
+            last_log_index=int(payload["last_log_index"]),
+            last_log_term=int(payload["last_log_term"]),
+            conf_clock=int(payload["conf_clock"]),
+            priority=int(payload["priority"]),
+        )
+    if name == "RequestVoteResponse":
+        return RequestVoteResponse(
+            term=term,
+            voter_id=int(payload["voter_id"]),
+            vote_granted=bool(payload["vote_granted"]),
+        )
+    if name in ("AppendEntriesRequest", "EscapeAppendEntriesRequest"):
+        entries = tuple(_decode_entry(item) for item in payload.get("entries", []))
+        common = dict(
+            term=term,
+            leader_id=int(payload["leader_id"]),
+            prev_log_index=int(payload["prev_log_index"]),
+            prev_log_term=int(payload["prev_log_term"]),
+            entries=entries,
+            leader_commit=int(payload["leader_commit"]),
+        )
+        if name == "AppendEntriesRequest":
+            return AppendEntriesRequest(**common)
+        return EscapeAppendEntriesRequest(
+            **common, new_config=_decode_configuration(payload.get("new_config"))
+        )
+    if name in ("AppendEntriesResponse", "EscapeAppendEntriesResponse"):
+        common = dict(
+            term=term,
+            follower_id=int(payload["follower_id"]),
+            success=bool(payload["success"]),
+            match_index=int(payload["match_index"]),
+        )
+        if name == "AppendEntriesResponse":
+            return AppendEntriesResponse(**common)
+        return EscapeAppendEntriesResponse(
+            **common, config_status=_decode_config_status(payload.get("config_status"))
+        )
+    raise ProtocolError(f"unhandled message type {name!r}")  # pragma: no cover
+
+
+def encode_datagram(src: int, message: Any) -> bytes:
+    """Encode an on-the-wire datagram: the sender id plus the message."""
+    return json.dumps({"src": src, "message": encode_message(message)}).encode("utf-8")
+
+
+def decode_datagram(data: bytes) -> tuple[int, Any]:
+    """Decode an on-the-wire datagram back into ``(src, message)``."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed datagram") from exc
+    return int(payload["src"]), decode_message(payload["message"])

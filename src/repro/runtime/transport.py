@@ -1,0 +1,133 @@
+"""UDP/JSON transport for the asyncio runtime.
+
+Each node owns one UDP socket bound to ``127.0.0.1:<port>``; the address book
+maps server ids to ports.  The transport can optionally inject an artificial
+per-message delay (a NetEm stand-in for the paper's 100-200 ms latency) and
+an i.i.d. loss probability, so the live runtime can demonstrate the same
+conditions the simulator measures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Mapping
+
+from repro.common.errors import NetworkError
+from repro.common.types import Milliseconds, ServerId
+from repro.runtime.codec import decode_datagram, encode_datagram
+
+DeliveryCallback = Callable[[ServerId, Any], None]
+
+
+class _NodeDatagramProtocol(asyncio.DatagramProtocol):
+    """Receives datagrams for one node and forwards them to its callback."""
+
+    def __init__(self, owner: "UdpJsonTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
+        self._owner._on_datagram(data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover - OS dependent
+        self._owner.errors += 1
+
+
+class UdpJsonTransport:
+    """One node's UDP endpoint.
+
+    Args:
+        node_id: the owning server.
+        address_book: server id → ``(host, port)`` for every cluster member.
+        on_message: callback invoked with ``(src, message)`` for each datagram.
+        latency_range_ms: optional artificial one-way delay range.
+        loss_rate: optional i.i.d. probability of dropping an outgoing message.
+        rng: randomness source for latency/loss decisions.
+    """
+
+    def __init__(
+        self,
+        node_id: ServerId,
+        address_book: Mapping[ServerId, tuple[str, int]],
+        on_message: DeliveryCallback,
+        latency_range_ms: tuple[Milliseconds, Milliseconds] | None = None,
+        loss_rate: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if node_id not in address_book:
+            raise NetworkError(f"S{node_id} is missing from the address book")
+        self.node_id = node_id
+        self._address_book = dict(address_book)
+        self._on_message = on_message
+        self._latency_range_ms = latency_range_ms
+        self._loss_rate = loss_rate
+        self._rng = rng if rng is not None else random.Random()
+        self._transport: asyncio.DatagramTransport | None = None
+        self.sent = 0
+        self.received = 0
+        self.dropped = 0
+        self.errors = 0
+
+    async def start(self) -> None:
+        """Bind the UDP socket and start receiving."""
+        loop = asyncio.get_running_loop()
+        host, port = self._address_book[self.node_id]
+        transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _NodeDatagramProtocol(self), local_addr=(host, port)
+        )
+        self._transport = transport
+
+    def close(self) -> None:
+        """Close the UDP socket."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the socket is currently bound."""
+        return self._transport is not None
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def send(self, dst: ServerId, message: Any) -> None:
+        """Send one message to one peer (fire-and-forget)."""
+        if self._transport is None:
+            return
+        if dst not in self._address_book:
+            raise NetworkError(f"S{dst} is missing from the address book")
+        if self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
+            self.dropped += 1
+            return
+        data = encode_datagram(self.node_id, message)
+        delay_ms = self._sample_delay_ms()
+        if delay_ms <= 0:
+            self._really_send(dst, data)
+        else:
+            loop = asyncio.get_running_loop()
+            loop.call_later(delay_ms / 1000.0, self._really_send, dst, data)
+
+    def _really_send(self, dst: ServerId, data: bytes) -> None:
+        if self._transport is None:
+            return
+        self._transport.sendto(data, self._address_book[dst])
+        self.sent += 1
+
+    def _sample_delay_ms(self) -> Milliseconds:
+        if self._latency_range_ms is None:
+            return 0.0
+        low, high = self._latency_range_ms
+        return self._rng.uniform(low, high)
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+    def _on_datagram(self, data: bytes) -> None:
+        try:
+            src, message = decode_datagram(data)
+        except Exception:
+            self.errors += 1
+            return
+        self.received += 1
+        self._on_message(src, message)

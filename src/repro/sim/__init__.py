@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is intentionally small: a virtual clock, an event scheduler with
+cancellable timer handles, a trace recorder, and a :class:`SimulationWorld`
+that bundles the three together with a seeded random-number tree.  Everything
+else in the library (network, nodes, harnesses) is built on top of these
+primitives.
+
+Determinism guarantees:
+
+* time only advances when the scheduler executes an event;
+* events scheduled for the same instant run in insertion order (stable
+  tie-breaking), so repeated runs with the same seed are bit-identical;
+* all randomness flows through :class:`repro.common.rng.SeedSequence`.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventHandle
+from repro.sim.scheduler import EventScheduler
+from repro.sim.tracing import TraceRecord, Tracer
+from repro.sim.world import SimulationWorld
+
+__all__ = [
+    "EventHandle",
+    "EventScheduler",
+    "SimulationWorld",
+    "TraceRecord",
+    "Tracer",
+    "VirtualClock",
+]

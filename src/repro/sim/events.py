@@ -1,0 +1,66 @@
+"""Event and timer handles used by the discrete-event scheduler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.types import Milliseconds
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """Internal heap entry: ordered by ``(time, sequence)``.
+
+    The *sequence* number is assigned by the scheduler at insertion time so
+    that two events scheduled for the same instant always execute in the order
+    they were scheduled.  This stable tie-break is what makes simulation runs
+    reproducible.
+    """
+
+    time_ms: Milliseconds
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellable handle returned by the scheduler for every event.
+
+    Protocol nodes keep handles for their election and heartbeat timers and
+    cancel them on role changes, exactly like a real implementation would
+    cancel OS timers.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time_ms(self) -> Milliseconds:
+        """The simulated time this event is scheduled to fire at."""
+        return self._event.time_ms
+
+    @property
+    def label(self) -> str:
+        """Optional human-readable label (used in traces)."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time_ms:.3f}ms, {self.label!r}, {state})"
+
+
+# Convenience alias for callbacks that take no arguments.
+Callback = Callable[[], Any]

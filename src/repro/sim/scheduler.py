@@ -1,0 +1,177 @@
+"""Deterministic discrete-event scheduler.
+
+The scheduler owns a :class:`~repro.sim.clock.VirtualClock` and a binary heap
+of :class:`~repro.sim.events.ScheduledEvent` entries.  Execution is strictly
+ordered by ``(time, insertion sequence)``; cancelled events are skipped lazily
+when they reach the head of the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.common.errors import SimulationError
+from repro.common.types import Milliseconds
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventHandle, ScheduledEvent
+
+
+class EventScheduler:
+    """Priority-queue scheduler driving a virtual clock.
+
+    Args:
+        clock: the virtual clock to advance.  A fresh clock is created when
+            none is supplied.
+        max_events: safety valve -- the total number of events the scheduler
+            will ever execute.  Runaway simulations (for example a node
+            rescheduling a zero-delay timer forever) raise
+            :class:`SimulationError` instead of hanging the test suite.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        max_events: int = 10_000_000,
+    ) -> None:
+        self._clock = clock if clock is not None else VirtualClock()
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = 0
+        self._executed = 0
+        self._max_events = max_events
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The virtual clock advanced by this scheduler."""
+        return self._clock
+
+    def now(self) -> Milliseconds:
+        """Current simulated time in milliseconds."""
+        return self._clock.now()
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def executed_count(self) -> int:
+        """Total number of events executed so far."""
+        return self._executed
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def call_at(
+        self, time_ms: Milliseconds, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule *callback* to run at absolute simulated time *time_ms*."""
+        if time_ms < self.now():
+            raise SimulationError(
+                f"cannot schedule event in the past: {time_ms} < {self.now()}"
+            )
+        event = ScheduledEvent(
+            time_ms=float(time_ms),
+            sequence=self._sequence,
+            callback=callback,
+            label=label,
+        )
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_after(
+        self, delay_ms: Milliseconds, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule *callback* to run *delay_ms* milliseconds from now."""
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay: {delay_ms}")
+        return self.call_at(self.now() + delay_ms, callback, label=label)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._check_budget()
+            self._clock.advance_to(event.time_ms)
+            self._executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, time_ms: Milliseconds) -> None:
+        """Execute every event scheduled at or before *time_ms*.
+
+        The clock ends exactly at *time_ms* even if the last event fired
+        earlier, so periodic measurements line up with wall-clock sweeps.
+        """
+        while self._heap:
+            head = self._next_pending()
+            if head is None or head.time_ms > time_ms:
+                break
+            self.step()
+        if time_ms > self.now():
+            self._clock.advance_to(time_ms)
+
+    def run_until_idle(self, max_time_ms: Milliseconds | None = None) -> None:
+        """Execute events until the queue drains (or *max_time_ms* is hit)."""
+        while True:
+            head = self._next_pending()
+            if head is None:
+                return
+            if max_time_ms is not None and head.time_ms > max_time_ms:
+                self._clock.advance_to(max_time_ms)
+                return
+            self.step()
+
+    def run_until_condition(
+        self,
+        condition: Callable[[], bool],
+        max_time_ms: Milliseconds,
+    ) -> bool:
+        """Execute events until *condition()* becomes true.
+
+        The condition is evaluated before the run starts and after every
+        executed event.
+
+        Returns:
+            ``True`` if the condition became true, ``False`` if the queue
+            drained or *max_time_ms* elapsed first.
+        """
+        if condition():
+            return True
+        while True:
+            head = self._next_pending()
+            if head is None:
+                return False
+            if head.time_ms > max_time_ms:
+                self._clock.advance_to(max_time_ms)
+                return condition()
+            self.step()
+            if condition():
+                return True
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _next_pending(self) -> ScheduledEvent | None:
+        """Return (without removing) the earliest non-cancelled event."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def _check_budget(self) -> None:
+        if self._executed >= self._max_events:
+            raise SimulationError(
+                f"event budget exhausted after {self._executed} events; "
+                "the simulation is probably not converging"
+            )

@@ -1,0 +1,54 @@
+"""The :class:`SimulationWorld` bundles clock, scheduler, RNG tree and tracer.
+
+A world is the unit of isolation for one simulated cluster run: the network,
+every node environment and the harness all hold a reference to the same world,
+and dropping the world drops the whole run.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import SeedSequence
+from repro.common.types import Milliseconds
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import EventScheduler
+from repro.sim.tracing import Tracer
+
+
+class SimulationWorld:
+    """Everything one simulated run shares.
+
+    Args:
+        seed: root seed of the run; all randomness derives from it.
+        trace: whether to keep trace records (disable for large sweeps).
+        max_events: event budget passed to the scheduler.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: bool = True,
+        max_events: int = 10_000_000,
+    ) -> None:
+        self.seeds = SeedSequence(seed)
+        self.clock = VirtualClock()
+        self.scheduler = EventScheduler(self.clock, max_events=max_events)
+        self.tracer = Tracer(enabled=trace)
+
+    def now(self) -> Milliseconds:
+        """Current simulated time in milliseconds."""
+        return self.clock.now()
+
+    def trace(self, category: str, node: int | None = None, **detail: object) -> None:
+        """Record a trace event stamped with the current simulated time."""
+        self.tracer.record(self.now(), category, node=node, **detail)
+
+    def run_for(self, duration_ms: Milliseconds) -> None:
+        """Run the scheduler for *duration_ms* simulated milliseconds."""
+        self.scheduler.run_until(self.now() + duration_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationWorld(now={self.now():.1f}ms, "
+            f"pending={self.scheduler.pending_count}, "
+            f"seed={self.seeds.root_seed})"
+        )

@@ -1,0 +1,30 @@
+"""Replicated state machines applied on top of the consensus log.
+
+Leader election itself does not need a state machine, but log replication
+(which ESCAPE leaves untouched and which the correctness arguments in
+Section V rely on) does.  The examples replicate a key-value store; tests use
+both the key-value store and the simpler append-only register to check that
+every node applies the same command sequence.
+"""
+
+from repro.statemachine.base import Command, StateMachine
+from repro.statemachine.kvstore import (
+    DeleteCommand,
+    GetCommand,
+    KeyValueStore,
+    PutCommand,
+    CompareAndSwapCommand,
+)
+from repro.statemachine.register import AppendRegister, CounterMachine
+
+__all__ = [
+    "AppendRegister",
+    "Command",
+    "CompareAndSwapCommand",
+    "CounterMachine",
+    "DeleteCommand",
+    "GetCommand",
+    "KeyValueStore",
+    "PutCommand",
+    "StateMachine",
+]

@@ -1,0 +1,57 @@
+"""Minimal state machines used by tests and micro-benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import ProtocolError
+
+
+class AppendRegister:
+    """Records every applied command in order.
+
+    Tests use this to assert the fundamental state-machine-replication
+    property: every server applies the same command sequence in the same
+    order.
+    """
+
+    def __init__(self) -> None:
+        self.history: list[Any] = []
+
+    def apply(self, command: Any) -> Any:
+        self.history.append(command)
+        return len(self.history)
+
+    def snapshot(self) -> list[Any]:
+        return list(self.history)
+
+    def restore(self, snapshot: list[Any]) -> None:
+        self.history = list(snapshot)
+
+
+class CounterMachine:
+    """An integer counter supporting ``"incr"``/``"decr"``/``("add", n)``."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, command: Any) -> int:
+        if command == "incr":
+            self.value += 1
+        elif command == "decr":
+            self.value -= 1
+        elif (
+            isinstance(command, (tuple, list))
+            and len(command) == 2
+            and command[0] == "add"
+        ):
+            self.value += int(command[1])
+        else:
+            raise ProtocolError(f"CounterMachine cannot apply {command!r}")
+        return self.value
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, snapshot: int) -> None:
+        self.value = int(snapshot)

@@ -1,0 +1,213 @@
+"""The replicated log.
+
+Raft's log is 1-indexed; index 0 denotes the empty-log sentinel with term 0.
+The log exposes exactly the operations the protocol needs:
+
+* append new entries (leader) or overwrite conflicting suffixes (follower);
+* the *consistency check* used by AppendEntries (``matches(prev_index,
+  prev_term)``);
+* the *up-to-date comparison* used when granting votes (Section II-A,
+  requirement 3): candidate logs are compared first by last term, then by
+  last index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.common.errors import StorageError
+from repro.common.types import LogIndex, Term
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One entry of the replicated log.
+
+    Attributes:
+        term: the leader term under which the entry was created.
+        index: the entry's position in the log (1-based).
+        command: the opaque state-machine command carried by the entry.
+    """
+
+    term: Term
+    index: LogIndex
+    command: Any = None
+
+    def __post_init__(self) -> None:
+        if self.term < 0:
+            raise StorageError(f"entry term must be non-negative, got {self.term}")
+        if self.index < 1:
+            raise StorageError(f"entry index must be >= 1, got {self.index}")
+
+
+class ReplicatedLog:
+    """In-memory replicated log with Raft semantics."""
+
+    def __init__(self, entries: Iterable[LogEntry] = ()) -> None:
+        self._entries: list[LogEntry] = []
+        for entry in entries:
+            self.append_entry(entry)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def last_index(self) -> LogIndex:
+        """Index of the last entry, or 0 when the log is empty."""
+        return self._entries[-1].index if self._entries else 0
+
+    @property
+    def last_term(self) -> Term:
+        """Term of the last entry, or 0 when the log is empty."""
+        return self._entries[-1].term if self._entries else 0
+
+    def term_at(self, index: LogIndex) -> Term:
+        """Term of the entry at *index*; index 0 is the sentinel with term 0.
+
+        Raises:
+            StorageError: if *index* is beyond the end of the log or negative.
+        """
+        if index == 0:
+            return 0
+        entry = self.entry_at(index)
+        return entry.term
+
+    def entry_at(self, index: LogIndex) -> LogEntry:
+        """The entry stored at *index* (1-based)."""
+        if index < 1 or index > self.last_index:
+            raise StorageError(
+                f"log index {index} out of range [1, {self.last_index}]"
+            )
+        entry = self._entries[index - 1]
+        return entry
+
+    def has_entry(self, index: LogIndex) -> bool:
+        """Whether an entry exists at *index*."""
+        return 1 <= index <= self.last_index
+
+    def entries_from(
+        self, start_index: LogIndex, limit: int | None = None
+    ) -> list[LogEntry]:
+        """Entries with index >= *start_index*, up to *limit* of them."""
+        if start_index < 1:
+            raise StorageError(f"start index must be >= 1, got {start_index}")
+        selected = self._entries[start_index - 1 :]
+        if limit is not None:
+            selected = selected[:limit]
+        return list(selected)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def append_entry(self, entry: LogEntry) -> None:
+        """Append a pre-built entry; its index must be contiguous."""
+        expected = self.last_index + 1
+        if entry.index != expected:
+            raise StorageError(
+                f"non-contiguous append: expected index {expected}, got {entry.index}"
+            )
+        if self._entries and entry.term < self._entries[-1].term:
+            raise StorageError(
+                f"entry term {entry.term} is lower than the previous entry's term "
+                f"{self._entries[-1].term}"
+            )
+        self._entries.append(entry)
+
+    def append_command(self, term: Term, command: Any) -> LogEntry:
+        """Create and append a new entry for *command* in *term* (leader path)."""
+        entry = LogEntry(term=term, index=self.last_index + 1, command=command)
+        self.append_entry(entry)
+        return entry
+
+    def truncate_from(self, index: LogIndex) -> int:
+        """Delete every entry with index >= *index*.
+
+        Returns:
+            The number of entries removed.
+        """
+        if index < 1:
+            raise StorageError(f"truncate index must be >= 1, got {index}")
+        removed = max(0, self.last_index - index + 1)
+        del self._entries[index - 1 :]
+        return removed
+
+    def merge_entries(
+        self, prev_index: LogIndex, entries: Sequence[LogEntry]
+    ) -> bool:
+        """Apply the AppendEntries merge rule for *entries* following *prev_index*.
+
+        Existing entries that conflict (same index, different term) are removed
+        together with everything after them; new entries are appended.  Entries
+        that already match are left untouched (so a delayed, duplicated
+        AppendEntries never truncates committed data).
+
+        Returns:
+            ``True`` if the log changed.
+        """
+        changed = False
+        next_index = prev_index + 1
+        for offset, entry in enumerate(entries):
+            index = next_index + offset
+            if entry.index != index:
+                raise StorageError(
+                    f"entry index {entry.index} does not match position {index}"
+                )
+            if self.has_entry(index):
+                if self.term_at(index) == entry.term:
+                    continue
+                self.truncate_from(index)
+                changed = True
+            self.append_entry(entry)
+            changed = True
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # Protocol predicates
+    # ------------------------------------------------------------------ #
+    def matches(self, prev_index: LogIndex, prev_term: Term) -> bool:
+        """AppendEntries consistency check.
+
+        True when this log contains an entry at *prev_index* whose term is
+        *prev_term* (index 0 always matches).
+        """
+        if prev_index == 0:
+            return True
+        if not self.has_entry(prev_index):
+            return False
+        return self.term_at(prev_index) == prev_term
+
+    def is_at_least_as_up_to_date_as(
+        self, other_last_term: Term, other_last_index: LogIndex
+    ) -> bool:
+        """Raft's vote-granting log comparison, from this log's point of view.
+
+        ``log_a`` is at least as up to date as ``log_b`` when its last term is
+        higher, or the last terms are equal and its last index is >=.
+        """
+        if self.last_term != other_last_term:
+            return self.last_term > other_last_term
+        return self.last_index >= other_last_index
+
+    def candidate_is_acceptable(
+        self, candidate_last_term: Term, candidate_last_index: LogIndex
+    ) -> bool:
+        """Whether a candidate with the given log tail may receive our vote."""
+        if candidate_last_term != self.last_term:
+            return candidate_last_term > self.last_term
+        return candidate_last_index >= self.last_index
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicatedLog(len={len(self)}, last_index={self.last_index}, "
+            f"last_term={self.last_term})"
+        )

@@ -1,0 +1,110 @@
+"""Snapshots for log compaction.
+
+Leader election does not depend on snapshotting, but a production Raft-family
+library needs it so long-running clusters do not grow their logs without
+bound.  The snapshot captures the state machine's serialised state together
+with the last included index/term; the log can then be compacted up to that
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import StorageError
+from repro.common.types import LogIndex, Term
+from repro.storage.log import LogEntry, ReplicatedLog
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A point-in-time capture of the applied state machine.
+
+    Attributes:
+        last_included_index: index of the last log entry reflected in *state*.
+        last_included_term: term of that entry.
+        state: opaque, serialisable state-machine snapshot.
+    """
+
+    last_included_index: LogIndex
+    last_included_term: Term
+    state: Any
+
+    def __post_init__(self) -> None:
+        if self.last_included_index < 0:
+            raise StorageError("snapshot index must be non-negative")
+        if self.last_included_term < 0:
+            raise StorageError("snapshot term must be non-negative")
+
+
+class SnapshotStore:
+    """Keeps the most recent snapshot and compacts logs against it."""
+
+    def __init__(self) -> None:
+        self._snapshot: Snapshot | None = None
+
+    @property
+    def latest(self) -> Snapshot | None:
+        """The most recently installed snapshot, if any."""
+        return self._snapshot
+
+    def install(self, snapshot: Snapshot) -> None:
+        """Install a snapshot; it must not move backwards."""
+        if (
+            self._snapshot is not None
+            and snapshot.last_included_index < self._snapshot.last_included_index
+        ):
+            raise StorageError(
+                "snapshot would move backwards: "
+                f"{snapshot.last_included_index} < {self._snapshot.last_included_index}"
+            )
+        self._snapshot = snapshot
+
+    def compact(self, log: ReplicatedLog) -> ReplicatedLog:
+        """Return a new log containing only entries after the snapshot point.
+
+        The returned log is re-indexed from the snapshot boundary: entries keep
+        their original indexes, and the snapshot's ``last_included_index`` acts
+        as the new sentinel.  When no snapshot is installed the log is returned
+        unchanged.
+        """
+        if self._snapshot is None:
+            return log
+        boundary = self._snapshot.last_included_index
+        remaining = [entry for entry in log if entry.index > boundary]
+        compacted = ReplicatedLog()
+        # Rebuild preserving original indexes by appending in order; the new
+        # log object starts empty, so we must translate contiguity: we keep the
+        # original entries but validate they are contiguous after the boundary.
+        expected = boundary + 1
+        for entry in remaining:
+            if entry.index != expected:
+                raise StorageError(
+                    f"log has a gap after snapshot boundary: expected {expected}, "
+                    f"got {entry.index}"
+                )
+            expected += 1
+        # ReplicatedLog enforces indexes starting at 1, so the compacted view
+        # is represented as a CompactedLog wrapper below when a boundary exists.
+        if boundary == 0:
+            for entry in remaining:
+                compacted.append_entry(entry)
+            return compacted
+        return _rebase_entries(boundary, remaining)
+
+
+def _rebase_entries(boundary: LogIndex, entries: list[LogEntry]) -> ReplicatedLog:
+    """Build a log whose entries are re-indexed to start at 1 after *boundary*.
+
+    The mapping is recorded on each entry's command payload position only by
+    index arithmetic: callers that use snapshots must translate indexes by
+    adding the snapshot boundary.  This mirrors how real Raft implementations
+    keep a ``firstIndex`` offset.
+    """
+    rebased = ReplicatedLog()
+    for offset, entry in enumerate(entries, start=1):
+        rebased.append_entry(
+            LogEntry(term=entry.term, index=offset, command=entry.command)
+        )
+    return rebased

@@ -1,0 +1,22 @@
+"""Dependency-free ASCII visualisation of experiment results.
+
+The experiment harness prints tables; these helpers additionally render the
+two chart shapes the paper's figures use -- cumulative-distribution curves
+(Figures 3 and 9) and grouped bars (Figures 4, 10 and 11) -- as monospace
+text, so results can be eyeballed in a terminal or pasted into an issue
+without a plotting stack.
+"""
+
+from repro.viz.ascii_charts import (
+    render_cdf_chart,
+    render_grouped_bars,
+    render_histogram,
+    sparkline,
+)
+
+__all__ = [
+    "render_cdf_chart",
+    "render_grouped_bars",
+    "render_histogram",
+    "sparkline",
+]

@@ -1,0 +1,151 @@
+"""ASCII chart rendering helpers."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.metrics.stats import cumulative_distribution
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence of values as a one-line unicode sparkline.
+
+    >>> sparkline([1, 2, 3])
+    '▁▅█'
+    """
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _BLOCKS[0] * len(values)
+    scale = (len(_BLOCKS) - 1) / (high - low)
+    return "".join(_BLOCKS[round((value - low) * scale)] for value in values)
+
+
+def render_cdf_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+    unit: str = "ms",
+) -> str:
+    """Render empirical CDFs of several samples as an ASCII line chart.
+
+    Args:
+        series: mapping from series label to raw sample values (e.g. election
+            times per protocol); each series is converted to its empirical CDF.
+        width: chart width in characters.
+        height: chart height in rows (each row is one cumulative-fraction band).
+        title: optional chart title.
+        unit: x-axis unit label.
+    """
+    if not series:
+        raise ConfigurationError("render_cdf_chart requires at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart must be at least 10x4 characters")
+    cdfs = {label: cumulative_distribution(values) for label, values in series.items()}
+    for label, cdf in cdfs.items():
+        if not cdf:
+            raise ConfigurationError(f"series {label!r} has no values")
+    x_min = min(cdf[0][0] for cdf in cdfs.values())
+    x_max = max(cdf[-1][0] for cdf in cdfs.values())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    markers = "*o+x#@%&"
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def column_for(x: float) -> int:
+        return min(width - 1, max(0, int((x - x_min) / (x_max - x_min) * (width - 1))))
+
+    def row_for(fraction: float) -> int:
+        return min(height - 1, max(0, int(round((1.0 - fraction) * (height - 1)))))
+
+    for series_index, (label, cdf) in enumerate(cdfs.items()):
+        marker = markers[series_index % len(markers)]
+        for value, fraction in cdf:
+            grid[row_for(fraction)][column_for(value)] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:5.0%} |" + "".join(row))
+    lines.append("      +" + "-" * width)
+    lines.append(f"       {x_min:.0f}{unit}" + " " * max(1, width - 20) + f"{x_max:.0f}{unit}")
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {label}" for index, label in enumerate(cdfs)
+    )
+    lines.append("       " + legend)
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    groups: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "ms",
+) -> str:
+    """Render grouped horizontal bars (one group per parameter value).
+
+    This is the ASCII analogue of the paper's grouped bar charts (Figure 10)
+    and grouped line plots (Figures 4 and 11): one block of bars per group,
+    one bar per series.
+    """
+    if not series:
+        raise ConfigurationError("render_grouped_bars requires at least one series")
+    for label, values in series.items():
+        if len(values) != len(groups):
+            raise ConfigurationError(
+                f"series {label!r} has {len(values)} values for {len(groups)} groups"
+            )
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        raise ConfigurationError("bar values must contain a positive maximum")
+    label_width = max(len(str(label)) for label in series)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for group_index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for label, values in series.items():
+            value = values[group_index]
+            bar = "█" * max(1, int(round(value / peak * width))) if value > 0 else ""
+            lines.append(f"  {str(label):<{label_width}} |{bar} {value:.0f}{unit}")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "ms",
+) -> str:
+    """Render a histogram of a sample as horizontal ASCII bars."""
+    if not values:
+        raise ConfigurationError("render_histogram requires at least one value")
+    if bins < 1:
+        raise ConfigurationError("bins must be >= 1")
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1.0
+    step = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / step))
+        counts[index] += 1
+    peak = max(counts)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        start = low + index * step
+        end = start + step
+        bar = "█" * int(round(count / peak * width)) if count else ""
+        lines.append(f"[{start:8.0f}, {end:8.0f}) {unit} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Z-Raft: the ZooKeeper-style static-priority baseline (Section VI-D).
+
+ZooKeeper's fast leader election prioritizes servers by their identifiers.
+The paper applies the same idea to Raft -- priorities and the matching
+election timeouts are fixed at join time and never rearranged -- and calls the
+result *Z-Raft*.  It is exactly ESCAPE's SCA component without the PPF, so
+under message loss the statically privileged servers drift out of date and the
+fixed priorities stop helping (Figure 11).
+"""
+
+from repro.zraft.node import ZRaftNode
+
+__all__ = ["ZRaftNode"]

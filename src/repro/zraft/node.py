@@ -1,0 +1,75 @@
+"""The Z-Raft node: static priorities, no probing patrol.
+
+Z-Raft is implemented as :class:`~repro.escape.node.EscapeNode` with every PPF
+hook disabled: the configuration each server receives at join time (priority =
+server id, timeout from Eq. 1) is permanent, no configuration is ever
+redistributed, and -- because assignments never change -- there is no
+configuration clock to gate votes on.
+
+This is the comparison the paper draws in Section VI-D: with a low message
+loss rate Z-Raft tracks ESCAPE closely, but as loss grows the statically
+privileged servers fall behind in log replication and their high-priority
+configurations are wasted on losing candidates.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import LogIndex, ServerId, Term
+from repro.escape.node import EscapeNode
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    RequestVoteRequest,
+)
+
+
+class ZRaftNode(EscapeNode):
+    """A server running Raft with ZooKeeper-style static priorities."""
+
+    protocol_name = "zraft"
+
+    # ------------------------------------------------------------------ #
+    # Keep SCA (term growth + prioritized timeouts), drop everything PPF
+    # ------------------------------------------------------------------ #
+    def _hook_on_become_leader(self) -> None:
+        """Z-Raft leaders do not manage a configuration pool."""
+        self.patrol = None
+
+    def _hook_before_heartbeat_round(self) -> None:
+        """No rearrangement round: priorities are static."""
+        return None
+
+    def _hook_decorate_append_request(
+        self, request: AppendEntriesRequest, follower: ServerId
+    ) -> AppendEntriesRequest:
+        """Heartbeats carry no configuration payload."""
+        return request
+
+    def _hook_on_append_response(
+        self, src: ServerId, response: AppendEntriesResponse
+    ) -> None:
+        """No responsiveness tracking."""
+        return None
+
+    def _hook_on_leader_heartbeat(self, request: AppendEntriesRequest) -> None:
+        """Followers never change their configuration."""
+        return None
+
+    def _hook_may_grant_vote(self, request: RequestVoteRequest) -> bool:
+        """Without rearrangement there is no configuration clock to compare."""
+        return True
+
+    def _hook_make_append_response(
+        self, request: AppendEntriesRequest, success: bool, match_index: LogIndex
+    ) -> AppendEntriesResponse:
+        """Plain Raft replies: there is no configStatus to report."""
+        return AppendEntriesResponse(
+            term=self.current_term,
+            follower_id=self.node_id,
+            success=success,
+            match_index=match_index,
+        )
+
+    def _hook_next_election_term(self) -> Term:
+        """Term growth still follows Eq. 2, with the *static* priority."""
+        return self.current_term + self.configuration.priority

@@ -1,0 +1,29 @@
+"""Pytest configuration shared by every test module."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the sibling ``helpers`` module importable from nested test packages.
+TESTS_DIR = Path(__file__).parent
+if str(TESTS_DIR) not in sys.path:
+    sys.path.insert(0, str(TESTS_DIR))
+
+
+@pytest.fixture
+def fake_env():
+    """A fresh hand-driven node environment."""
+    from helpers import FakeEnvironment
+
+    return FakeEnvironment(node_id=1)
+
+
+@pytest.fixture
+def fast_config():
+    """A protocol configuration with short, test-friendly timings."""
+    from helpers import fast_protocol_config
+
+    return fast_protocol_config()

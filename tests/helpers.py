@@ -1,0 +1,156 @@
+"""Shared test helpers: a fake node environment and small builders."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.common.config import ClusterConfig, ProtocolConfig, RaftTimeoutConfig, ScaParameters
+from repro.common.types import Milliseconds, ServerId
+
+
+@dataclass
+class SentMessage:
+    """A message a node handed to its (fake) environment."""
+
+    dst: ServerId
+    payload: Any
+
+
+@dataclass
+class FakeTimer:
+    """A timer armed through the fake environment; tests fire it explicitly."""
+
+    delay_ms: Milliseconds
+    callback: Callable[[], None]
+    label: str
+    armed_at_ms: Milliseconds
+    cancelled: bool = False
+
+    @property
+    def due_at_ms(self) -> Milliseconds:
+        return self.armed_at_ms + self.delay_ms
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (tests decide when a timer 'expires')."""
+        if not self.cancelled:
+            self.callback()
+
+
+@dataclass
+class FakeEnvironment:
+    """Hand-driven environment for unit-testing protocol nodes.
+
+    Messages are collected in :attr:`sent`; timers are collected in
+    :attr:`timers` and only fire when the test calls :meth:`fire_next_timer`
+    (or fires a specific timer).  Time advances only via :meth:`advance`.
+    """
+
+    node_id: ServerId = 1
+    time_ms: Milliseconds = 0.0
+    sent: list[SentMessage] = field(default_factory=list)
+    timers: list[FakeTimer] = field(default_factory=list)
+    traces: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # --- Environment protocol -------------------------------------------------
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def now(self) -> Milliseconds:
+        return self.time_ms
+
+    def send(self, dst: ServerId, message: Any) -> None:
+        self.sent.append(SentMessage(dst, message))
+
+    def broadcast(
+        self, targets: Sequence[ServerId], payload_factory: Callable[[ServerId], Any]
+    ) -> None:
+        for dst in targets:
+            self.sent.append(SentMessage(dst, payload_factory(dst)))
+
+    def set_timer(
+        self, delay_ms: Milliseconds, callback: Callable[[], None], label: str = ""
+    ) -> FakeTimer:
+        # Mirror SimNodeEnvironment's labelling so tests read the same way
+        # against either environment.
+        timer = FakeTimer(
+            delay_ms=delay_ms,
+            callback=callback,
+            label=f"S{self.node_id}:{label}",
+            armed_at_ms=self.time_ms,
+        )
+        self.timers.append(timer)
+        return timer
+
+    def cancel_timer(self, handle: FakeTimer) -> None:
+        handle.cancel()
+
+    def trace(self, category: str, **detail: Any) -> None:
+        self.traces.append((category, detail))
+
+    # --- test conveniences -----------------------------------------------------
+    def advance(self, delta_ms: Milliseconds) -> None:
+        """Advance the fake clock (does not fire timers)."""
+        self.time_ms += delta_ms
+
+    def pending_timers(self) -> list[FakeTimer]:
+        """Timers that are armed and not cancelled."""
+        return [timer for timer in self.timers if not timer.cancelled]
+
+    def pending_timer_labels(self) -> list[str]:
+        return [timer.label for timer in self.pending_timers()]
+
+    def fire_next_timer(self, label_prefix: str | None = None) -> FakeTimer:
+        """Fire the earliest pending timer (optionally filtered by label)."""
+        candidates = [
+            timer
+            for timer in self.pending_timers()
+            if label_prefix is None or timer.label.startswith(label_prefix)
+        ]
+        if not candidates:
+            raise AssertionError(f"no pending timer matching {label_prefix!r}")
+        timer = min(candidates, key=lambda item: item.due_at_ms)
+        self.time_ms = max(self.time_ms, timer.due_at_ms)
+        timer.cancel()  # a fired one-shot timer cannot fire again
+        timer.callback()
+        return timer
+
+    def sent_to(self, dst: ServerId) -> list[Any]:
+        """Payloads sent to one destination."""
+        return [item.payload for item in self.sent if item.dst == dst]
+
+    def sent_payloads(self, payload_type: type | None = None) -> list[Any]:
+        """All sent payloads, optionally filtered by type."""
+        payloads = [item.payload for item in self.sent]
+        if payload_type is None:
+            return payloads
+        return [payload for payload in payloads if isinstance(payload, payload_type)]
+
+    def clear_sent(self) -> None:
+        self.sent.clear()
+
+
+def small_cluster(n: int = 3) -> ClusterConfig:
+    """A small cluster config used across node unit tests."""
+    return ClusterConfig.of_size(n)
+
+
+def fast_protocol_config(**overrides: Any) -> ProtocolConfig:
+    """A protocol configuration with short, test-friendly timings."""
+    defaults: dict[str, Any] = dict(
+        heartbeat_interval_ms=10.0,
+        vote_retry_interval_ms=20.0,
+        raft_timeouts=RaftTimeoutConfig(100.0, 200.0),
+        sca=ScaParameters(base_time_ms=100.0, k_ms=20.0),
+    )
+    defaults.update(overrides)
+    return ProtocolConfig(**defaults)

@@ -1,0 +1,107 @@
+"""Integration tests: the experiment CLI and the example scripts run end-to-end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+
+
+class TestExperimentsCli:
+    def test_fig3_quick_run_prints_a_report(self, capsys):
+        assert experiments_main(["fig3", "--runs", "2", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output
+        assert "completed in" in output
+
+    def test_fig10_quick_run_prints_a_report(self, capsys):
+        assert experiments_main(["fig10", "--runs", "1", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 10" in output
+
+    def test_ablation_k_run(self, capsys):
+        assert experiments_main(["ablation-k", "--runs", "1", "--quick"]) == 0
+        assert "sensitivity to k" in capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart_runs_and_reports_failover(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py"), "7"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "new leader" in result.stdout
+        assert "election safety check passed" in result.stdout
+
+    def test_compare_protocols_small_run(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "compare_protocols.py"),
+                "--runs",
+                "2",
+                "--sizes",
+                "5",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "ESCAPE" in result.stdout
+
+    def test_message_loss_study_small_run(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "message_loss_study.py"),
+                "--runs",
+                "2",
+                "--size",
+                "5",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Figure 11" in result.stdout
+
+    def test_geo_distributed_example_small_run(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "geo_distributed_failover.py"),
+                "--runs",
+                "3",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Geo-distributed failover" in result.stdout
+
+    def test_live_asyncio_example_small_run(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "live_asyncio_cluster.py"),
+                "--base-port",
+                "29720",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "took over" in result.stdout

@@ -1,0 +1,85 @@
+"""Integration tests: behaviour under broadcast message loss (Section VI-D)."""
+
+import pytest
+
+from repro.cluster import ElectionScenario
+from repro.metrics.records import MeasurementSet
+
+RUNS = 5
+
+
+class TestLiveness:
+    @pytest.mark.parametrize("protocol", ["raft", "zraft", "escape"])
+    @pytest.mark.parametrize("loss", [0.2, 0.4])
+    def test_every_protocol_still_elects_a_leader_under_loss(self, protocol, loss):
+        scenario = ElectionScenario(
+            protocol=protocol,
+            cluster_size=10,
+            loss_rate=loss,
+            workload_interval_ms=250.0,
+        )
+        measurement = scenario.run(seed=17)
+        assert measurement.converged
+
+    def test_replication_continues_under_loss(self):
+        scenario = ElectionScenario(
+            protocol="escape", cluster_size=5, loss_rate=0.2, workload_interval_ms=100.0
+        )
+        cluster, harness = scenario.build(seed=4)
+        cluster.start_all()
+        harness.stabilize()
+        from repro.cluster.workload import ClientWorkload
+
+        workload = ClientWorkload(cluster, interval_ms=100.0)
+        workload.start()
+        harness.run_for(3_000.0)
+        workload.stop()
+        leader = cluster.leader()
+        assert leader.commit_index > 10
+        assert harness.committed_prefixes_consistent()
+
+
+class TestPaperOrdering:
+    def test_escape_beats_raft_under_heavy_loss(self):
+        # Figure 11: the gap between ESCAPE and Raft widens with the loss rate.
+        raft = MeasurementSet(
+            ElectionScenario(
+                protocol="raft", cluster_size=10, loss_rate=0.4, workload_interval_ms=250.0
+            ).run_many(RUNS, base_seed=29)
+        )
+        escape = MeasurementSet(
+            ElectionScenario(
+                protocol="escape", cluster_size=10, loss_rate=0.4, workload_interval_ms=250.0
+            ).run_many(RUNS, base_seed=29)
+        )
+        assert escape.mean_total_ms() < raft.mean_total_ms()
+
+    def test_raft_split_votes_increase_with_loss(self):
+        low_loss = MeasurementSet(
+            ElectionScenario(
+                protocol="raft", cluster_size=10, loss_rate=0.0
+            ).run_many(RUNS, base_seed=31)
+        )
+        high_loss = MeasurementSet(
+            ElectionScenario(
+                protocol="raft", cluster_size=10, loss_rate=0.4, workload_interval_ms=250.0
+            ).run_many(RUNS, base_seed=31)
+        )
+        assert high_loss.split_vote_fraction() >= low_loss.split_vote_fraction()
+
+    def test_loss_increases_election_time_for_every_protocol(self):
+        for protocol in ("raft", "escape"):
+            healthy = MeasurementSet(
+                ElectionScenario(protocol=protocol, cluster_size=10).run_many(
+                    RUNS, base_seed=37
+                )
+            )
+            lossy = MeasurementSet(
+                ElectionScenario(
+                    protocol=protocol,
+                    cluster_size=10,
+                    loss_rate=0.4,
+                    workload_interval_ms=250.0,
+                ).run_many(RUNS, base_seed=37)
+            )
+            assert lossy.mean_total_ms() >= healthy.mean_total_ms() * 0.95

@@ -1,0 +1,85 @@
+"""Property-based end-to-end safety tests.
+
+Hypothesis drives whole simulated clusters through randomized conditions
+(protocol, size, latency spread, message loss, crash timing) and checks the
+invariants that must hold regardless of parameters:
+
+* election safety -- at most one leader is elected per term;
+* log matching -- committed prefixes agree across running nodes;
+* ESCAPE-specific -- without faults, ESCAPE never splits votes and converges.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ElectionScenario
+from repro.raft.state import Role
+
+scenario_parameters = st.fixed_dictionaries(
+    {
+        "protocol": st.sampled_from(["raft", "escape", "zraft"]),
+        "cluster_size": st.integers(min_value=3, max_value=9),
+        "loss_rate": st.sampled_from([0.0, 0.0, 0.2, 0.4]),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    }
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestClusterSafetyProperties:
+    @given(scenario_parameters)
+    @SETTINGS
+    def test_at_most_one_leader_per_term_under_any_conditions(self, params):
+        seed = params.pop("seed")
+        scenario = ElectionScenario(
+            workload_interval_ms=200.0 if params["loss_rate"] else 0.0,
+            max_election_ms=60_000.0,
+            **params,
+        )
+        cluster, harness = scenario.build(seed)
+        cluster.start_all()
+        harness.stabilize()
+        harness.run_for(500.0)
+        harness.crash_leader_and_measure(seed=seed, max_election_ms=60_000.0)
+        harness.assert_at_most_one_leader_per_term()
+        assert harness.committed_prefixes_consistent()
+
+    @given(scenario_parameters)
+    @SETTINGS
+    def test_at_most_one_running_leader_holds_the_highest_term(self, params):
+        seed = params.pop("seed")
+        scenario = ElectionScenario(
+            workload_interval_ms=200.0 if params["loss_rate"] else 0.0,
+            max_election_ms=60_000.0,
+            **params,
+        )
+        cluster, harness = scenario.build(seed)
+        cluster.start_all()
+        harness.stabilize()
+        harness.crash_leader_and_measure(seed=seed, max_election_ms=60_000.0)
+        leaders = [
+            node for node in cluster.running_nodes() if node.role is Role.LEADER
+        ]
+        terms = [node.current_term for node in cluster.running_nodes()]
+        if leaders:
+            top = max(leaders, key=lambda node: node.current_term)
+            assert top.current_term == max(terms)
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @SETTINGS
+    def test_escape_without_faults_always_converges_without_split_votes(
+        self, cluster_size, seed
+    ):
+        scenario = ElectionScenario(protocol="escape", cluster_size=cluster_size)
+        measurement = scenario.run(seed)
+        assert measurement.converged
+        assert not measurement.split_vote
+        assert measurement.total_ms < 10_000.0

@@ -1,0 +1,97 @@
+"""Property-based tests for the replicated log (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.log import LogEntry, ReplicatedLog
+
+
+@st.composite
+def term_sequences(draw, max_length=30):
+    """Non-decreasing term sequences, as they appear in a real log."""
+    length = draw(st.integers(min_value=0, max_value=max_length))
+    terms = []
+    current = 1
+    for _ in range(length):
+        current += draw(st.integers(min_value=0, max_value=2))
+        terms.append(current)
+    return terms
+
+
+def log_from_terms(terms):
+    log = ReplicatedLog()
+    for index, term in enumerate(terms, start=1):
+        log.append_entry(LogEntry(term=term, index=index, command=index))
+    return log
+
+
+class TestStructuralInvariants:
+    @given(term_sequences())
+    def test_terms_are_non_decreasing_and_indexes_contiguous(self, terms):
+        log = log_from_terms(terms)
+        previous_term = 0
+        for position, entry in enumerate(log, start=1):
+            assert entry.index == position
+            assert entry.term >= previous_term
+            previous_term = entry.term
+        assert log.last_index == len(terms)
+
+    @given(term_sequences(), st.integers(min_value=1, max_value=40))
+    def test_truncate_then_length_matches(self, terms, cut):
+        log = log_from_terms(terms)
+        before = log.last_index
+        removed = log.truncate_from(cut)
+        assert log.last_index == min(before, cut - 1)
+        assert removed == before - log.last_index
+
+
+class TestMergeProperties:
+    @given(term_sequences())
+    def test_merge_is_idempotent(self, terms):
+        log = log_from_terms(terms)
+        replica = ReplicatedLog()
+        entries = list(log)
+        replica.merge_entries(0, entries)
+        changed_again = replica.merge_entries(0, entries)
+        assert not changed_again
+        assert replica.last_index == log.last_index
+        assert [entry.term for entry in replica] == [entry.term for entry in log]
+
+    @given(term_sequences(), term_sequences())
+    def test_merging_leader_suffix_makes_follower_a_prefix_of_leader(self, a, b):
+        leader = log_from_terms(a if len(a) >= len(b) else b)
+        follower = log_from_terms(b if len(a) >= len(b) else a)
+        # Find the first index where the follower diverges from the leader.
+        prev = 0
+        for index in range(1, min(leader.last_index, follower.last_index) + 1):
+            if leader.term_at(index) != follower.term_at(index):
+                break
+            prev = index
+        follower.truncate_from(prev + 1)
+        follower.merge_entries(prev, leader.entries_from(prev + 1))
+        assert follower.last_index == leader.last_index
+        for index in range(1, leader.last_index + 1):
+            assert follower.term_at(index) == leader.term_at(index)
+
+
+class TestUpToDateComparison:
+    @given(term_sequences(), term_sequences())
+    def test_comparison_is_total(self, a, b):
+        # For any two logs, at least one is "at least as up to date" as the other.
+        log_a, log_b = log_from_terms(a), log_from_terms(b)
+        a_ok = log_a.is_at_least_as_up_to_date_as(log_b.last_term, log_b.last_index)
+        b_ok = log_b.is_at_least_as_up_to_date_as(log_a.last_term, log_a.last_index)
+        assert a_ok or b_ok
+
+    @given(term_sequences())
+    def test_comparison_is_reflexive(self, terms):
+        log = log_from_terms(terms)
+        assert log.is_at_least_as_up_to_date_as(log.last_term, log.last_index)
+
+    @given(term_sequences(), st.integers(min_value=1, max_value=3))
+    def test_extending_a_log_keeps_it_at_least_as_up_to_date(self, terms, extra):
+        log = log_from_terms(terms)
+        shorter_term, shorter_index = log.last_term, log.last_index
+        for _ in range(extra):
+            log.append_command(max(log.last_term, 1), command=None)
+        assert log.is_at_least_as_up_to_date_as(shorter_term, shorter_index)

@@ -1,0 +1,104 @@
+"""Unit tests for the Redis-Cluster failover adapter (Section IV-C)."""
+
+import pytest
+
+from repro.adapters.redis_cluster import (
+    EscapeFailoverModel,
+    RedisClusterParameters,
+    RedisFailoverModel,
+    compare_failover_models,
+)
+from repro.common.errors import ConfigurationError
+from repro.experiments import adapter_redis
+
+
+class TestParameters:
+    def test_quorum_is_majority_of_voting_masters(self):
+        assert RedisClusterParameters(voting_masters=5).quorum == 3
+        assert RedisClusterParameters(voting_masters=7).quorum == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RedisClusterParameters(replicas=0)
+        with pytest.raises(ConfigurationError):
+            RedisClusterParameters(rank_confusion=1.5)
+        with pytest.raises(ConfigurationError):
+            RedisClusterParameters(vote_loss_rate=-0.1)
+
+
+class TestStockRedisFailover:
+    def test_failover_converges_on_a_single_replica(self):
+        model = RedisFailoverModel(RedisClusterParameters())
+        measurement = model.run(seed=3)
+        assert measurement.converged
+        assert measurement.promoted_replica is not None
+        assert measurement.failover_ms > 0
+
+    def test_runs_are_deterministic_per_seed(self):
+        model = RedisFailoverModel(RedisClusterParameters())
+        assert model.run(seed=5) == model.run(seed=5)
+        assert model.run(seed=5) != model.run(seed=6)
+
+    def test_rank_confusion_produces_epoch_collisions(self):
+        confused = RedisFailoverModel(RedisClusterParameters(rank_confusion=0.8))
+        measurements = confused.run_many(runs=100, base_seed=1)
+        assert any(m.epoch_collisions > 0 for m in measurements)
+
+    def test_collisions_increase_with_confusion(self):
+        def collision_rate(confusion):
+            model = RedisFailoverModel(RedisClusterParameters(rank_confusion=confusion))
+            measurements = model.run_many(runs=150, base_seed=2)
+            return sum(1 for m in measurements if m.epoch_collisions > 0) / len(measurements)
+
+        assert collision_rate(0.7) > collision_rate(0.0)
+
+
+class TestEscapeFailover:
+    def test_groomed_failover_never_collides(self):
+        model = EscapeFailoverModel(RedisClusterParameters(rank_confusion=0.8))
+        measurements = model.run_many(runs=100, base_seed=3)
+        assert all(m.epoch_collisions == 0 for m in measurements)
+        assert all(m.converged for m in measurements)
+
+    def test_freshest_replica_is_promoted(self):
+        model = EscapeFailoverModel(RedisClusterParameters())
+        measurement = model.run(seed=9)
+        # Replica 0 holds the highest groomed priority in the model's schedule.
+        assert measurement.promoted_replica == 0
+        assert measurement.attempts == 1
+
+    def test_stale_assignments_are_gated_but_failover_still_converges(self):
+        model = EscapeFailoverModel(
+            RedisClusterParameters(), stale_assignment_rate=1.0
+        )
+        # Every replica is stale: nothing can be promoted (all gated).
+        measurement = model.run(seed=1)
+        assert not measurement.converged
+        partially_stale = EscapeFailoverModel(
+            RedisClusterParameters(), stale_assignment_rate=0.3
+        )
+        measurements = partially_stale.run_many(runs=50, base_seed=4)
+        assert any(m.converged for m in measurements)
+
+
+class TestComparison:
+    def test_escape_variant_is_at_least_as_fast_and_collision_free(self):
+        results = compare_failover_models(
+            runs=150, seed=7, params=RedisClusterParameters(rank_confusion=0.5)
+        )
+        assert results["escape-redis"]["mean_ms"] <= results["redis"]["mean_ms"]
+        assert results["escape-redis"]["collision_rate"] == 0.0
+        assert results["redis"]["collision_rate"] > 0.0
+
+    def test_compare_rejects_non_positive_runs(self):
+        with pytest.raises(ConfigurationError):
+            compare_failover_models(runs=0)
+
+
+class TestAdapterExperiment:
+    def test_run_and_report(self):
+        result = adapter_redis.run(runs=40, seed=0, confusion_levels=(0.0, 0.5))
+        assert result.confusion_levels == (0.0, 0.5)
+        assert result.escape_reduction_for(0.5) >= 0.0
+        text = adapter_redis.report(result)
+        assert "Redis" in text and "reduction" in text

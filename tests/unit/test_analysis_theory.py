@@ -1,0 +1,87 @@
+"""Unit tests for the analytical models in repro.analysis.theory."""
+
+import pytest
+
+from repro.analysis.theory import (
+    escape_expected_detection_ms,
+    expected_minimum_uniform,
+    raft_expected_detection_ms,
+    simultaneous_timeout_probability,
+    split_vote_probability_two_candidates,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestExpectedMinimumUniform:
+    def test_single_sample_is_the_midpoint(self):
+        assert expected_minimum_uniform(0.0, 100.0, 1) == 50.0
+
+    def test_minimum_decreases_with_more_samples(self):
+        values = [expected_minimum_uniform(1500.0, 3000.0, n) for n in (1, 4, 16, 64)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] > 1500.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_minimum_uniform(0.0, 10.0, 0)
+        with pytest.raises(ConfigurationError):
+            expected_minimum_uniform(10.0, 0.0, 1)
+
+
+class TestDetectionModels:
+    def test_raft_detection_shrinks_with_cluster_size(self):
+        small = raft_expected_detection_ms(1500.0, 3000.0, followers=7)
+        large = raft_expected_detection_ms(1500.0, 3000.0, followers=127)
+        assert large < small
+        assert large > 1500.0 - 1.0
+
+    def test_escape_detection_is_scale_independent_base_time(self):
+        assert escape_expected_detection_ms(1500.0) == 1500.0
+        assert escape_expected_detection_ms(1500.0, heartbeat_interval_ms=150.0) == 1425.0
+
+    def test_raft_detection_accounts_for_heartbeat_phase(self):
+        with_phase = raft_expected_detection_ms(
+            1500.0, 3000.0, followers=7, heartbeat_interval_ms=150.0
+        )
+        without_phase = raft_expected_detection_ms(1500.0, 3000.0, followers=7)
+        assert without_phase - with_phase == pytest.approx(75.0)
+
+
+class TestSimultaneousTimeoutProbability:
+    def test_probability_grows_with_cluster_size(self):
+        values = [
+            simultaneous_timeout_probability(1500.0, 3000.0, followers=n, window_ms=150.0)
+            for n in (4, 16, 64, 128)
+        ]
+        assert values == sorted(values)
+        assert 0.0 < values[0] < values[-1] <= 1.0
+
+    def test_probability_shrinks_with_more_randomness(self):
+        # The trade-off of Section III: widening the range reduces collisions.
+        narrow = simultaneous_timeout_probability(1500.0, 1800.0, 4, window_ms=150.0)
+        wide = simultaneous_timeout_probability(1500.0, 6000.0, 4, window_ms=150.0)
+        assert wide < narrow
+
+    def test_degenerate_cases(self):
+        assert simultaneous_timeout_probability(1500.0, 3000.0, 1, 150.0) == 0.0
+        assert simultaneous_timeout_probability(1500.0, 1500.0, 5, 150.0) == 1.0
+
+
+class TestSplitVoteProbability:
+    def test_two_candidates_in_a_five_server_cluster(self):
+        # 5 servers, leader crashed, 2 candidates, 2 free voters: the vote
+        # splits unless one candidate receives both free votes (probability
+        # 1/2), so the split probability is 1/2.
+        assert split_vote_probability_two_candidates(5) == pytest.approx(0.5)
+
+    def test_probability_shrinks_with_cluster_size_for_two_candidates(self):
+        # With exactly two candidates, more free voters make an even split
+        # less likely (binomial concentration); large clusters suffer more
+        # split votes because *more* candidates collide, which is captured by
+        # simultaneous_timeout_probability, not by this function.
+        values = [split_vote_probability_two_candidates(n) for n in (5, 9, 17, 33)]
+        assert values == sorted(values, reverse=True)
+        assert 0.0 < values[-1] < values[0] <= 0.5
+
+    def test_tiny_clusters_cannot_split(self):
+        assert split_vote_probability_two_candidates(2) == 0.0

@@ -1,0 +1,190 @@
+"""Unit tests for the cluster builder, harness and workload."""
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.harness import ElectionHarness
+from repro.cluster.observers import ElectionObserver
+from repro.cluster.workload import ClientWorkload
+from repro.common.errors import ClusterError, ConfigurationError
+from repro.escape.node import EscapeNode
+from repro.net.latency import ConstantLatency
+from repro.raft.node import RaftNode
+from repro.raft.state import Role
+from repro.zraft.node import ZRaftNode
+
+FAST_LATENCY = ConstantLatency(5.0)
+
+
+def build(protocol="escape", size=3, seed=0, **kwargs):
+    observer = ElectionObserver()
+    cluster = build_cluster(
+        protocol=protocol,
+        size=size,
+        seed=seed,
+        latency=kwargs.pop("latency", FAST_LATENCY),
+        listeners=(observer,),
+        **kwargs,
+    )
+    return cluster, ElectionHarness(cluster, observer)
+
+
+class TestBuilder:
+    def test_builds_requested_protocol_classes(self):
+        for protocol, node_class in (
+            ("raft", RaftNode),
+            ("escape", EscapeNode),
+            ("zraft", ZRaftNode),
+        ):
+            cluster, _ = build(protocol=protocol)
+            assert all(type(node) is node_class for node in cluster.nodes.values())
+            assert cluster.protocol == protocol
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster(protocol="paxos", size=3)
+
+    def test_nodes_are_registered_on_the_network(self):
+        cluster, _ = build(size=5)
+        assert cluster.network.members == (1, 2, 3, 4, 5)
+        assert set(cluster.nodes) == {1, 2, 3, 4, 5}
+
+    def test_node_lookup_and_errors(self):
+        cluster, _ = build()
+        assert cluster.node(2).node_id == 2
+        with pytest.raises(ClusterError):
+            cluster.node(99)
+
+    def test_describe_mentions_every_node(self):
+        cluster, _ = build(size=3)
+        description = cluster.describe()
+        assert description.count("S") >= 3
+
+
+class TestLeadershipLifecycle:
+    def test_stabilize_elects_exactly_one_leader(self):
+        cluster, harness = build(size=5)
+        cluster.start_all()
+        leader_id = harness.stabilize()
+        assert cluster.leader_id() == leader_id
+        roles = harness.current_roles()
+        assert sum(1 for role in roles.values() if role is Role.LEADER) == 1
+
+    def test_stabilize_times_out_when_nothing_can_happen(self):
+        cluster, harness = build(size=3)
+        # Nodes never started: no timers, no leader.
+        with pytest.raises(ClusterError):
+            harness.stabilize(max_time_ms=500.0)
+
+    def test_crash_and_recover_round_trip(self):
+        cluster, harness = build(size=3)
+        cluster.start_all()
+        leader_id = harness.stabilize()
+        cluster.crash(leader_id)
+        assert leader_id in cluster.crashed
+        assert not cluster.node(leader_id).is_running
+        cluster.recover(leader_id)
+        assert leader_id not in cluster.crashed
+        assert cluster.node(leader_id).is_running
+
+    def test_crash_twice_rejected(self):
+        cluster, harness = build(size=3)
+        cluster.start_all()
+        harness.stabilize()
+        victim = cluster.leader_id()
+        cluster.crash(victim)
+        with pytest.raises(ClusterError):
+            cluster.crash(victim)
+        with pytest.raises(ClusterError):
+            cluster.recover(99)
+
+    def test_crash_leader_without_leader_rejected(self):
+        cluster, _ = build(size=3)
+        with pytest.raises(ClusterError):
+            cluster.crash_leader()
+
+    def test_crash_leader_and_measure_produces_consistent_measurement(self):
+        cluster, harness = build(protocol="escape", size=5, seed=3)
+        cluster.start_all()
+        harness.stabilize()
+        harness.run_for(500.0)
+        measurement = harness.crash_leader_and_measure(seed=3)
+        assert measurement.converged
+        assert measurement.winner_id != measurement.extra["crashed_leader"]
+        assert measurement.total_ms == pytest.approx(
+            measurement.detection_ms + measurement.election_ms
+        )
+        assert measurement.detection_ms > 0
+        assert measurement.protocol == "escape"
+        assert measurement.cluster_size == 5
+
+    def test_measurement_reports_non_convergence(self):
+        cluster, harness = build(size=3)
+        cluster.start_all()
+        harness.stabilize()
+        # Disconnect everyone else so no quorum can ever form.
+        for node_id in list(cluster.nodes):
+            if node_id != cluster.leader_id():
+                cluster.network.disconnect(node_id)
+        measurement = harness.crash_leader_and_measure(max_election_ms=3_000.0)
+        assert not measurement.converged
+        assert measurement.winner_id is None
+        assert measurement.total_ms == 3_000.0
+
+
+class TestClientPath:
+    def test_propose_via_leader_and_replication(self):
+        cluster, harness = build(size=3)
+        cluster.start_all()
+        harness.stabilize()
+        index = cluster.propose_via_leader({"op": "put", "key": "x", "value": 1})
+        assert index == 1
+        harness.run_for(500.0)
+        leader = cluster.leader()
+        assert leader.commit_index >= 1
+        assert harness.committed_prefixes_consistent()
+
+    def test_propose_without_leader_rejected(self):
+        cluster, _ = build(size=3)
+        with pytest.raises(ClusterError):
+            cluster.propose_via_leader("x")
+
+    def test_workload_proposes_periodically(self):
+        cluster, harness = build(size=3)
+        cluster.start_all()
+        harness.stabilize()
+        workload = ClientWorkload(cluster, interval_ms=50.0)
+        workload.start()
+        assert workload.is_active
+        harness.run_for(1_000.0)
+        workload.stop()
+        proposed_after_stop = workload.proposed
+        harness.run_for(500.0)
+        assert workload.proposed == proposed_after_stop
+        assert workload.proposed >= 15
+
+    def test_workload_skips_when_no_leader(self):
+        cluster, harness = build(size=3)
+        cluster.start_all()
+        workload = ClientWorkload(cluster, interval_ms=50.0)
+        workload.start()
+        # Run for a short window before any leader exists (election timeouts
+        # in the default config are 1500+ ms).
+        harness.run_for(300.0)
+        assert workload.proposed == 0
+
+
+class TestSafetyHelpers:
+    def test_assert_at_most_one_leader_per_term_accepts_clean_history(self):
+        cluster, harness = build(size=5)
+        cluster.start_all()
+        harness.stabilize()
+        harness.crash_leader_and_measure()
+        harness.assert_at_most_one_leader_per_term()
+
+    def test_assert_detects_fabricated_violation(self):
+        cluster, harness = build(size=3)
+        harness.observer.on_leader_elected(1, term=5, votes=2, time_ms=10.0)
+        harness.observer.on_leader_elected(2, term=5, votes=2, time_ms=20.0)
+        with pytest.raises(ClusterError):
+            harness.assert_at_most_one_leader_per_term()

@@ -1,0 +1,97 @@
+"""Unit tests for the reusable election scenarios."""
+
+import pytest
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.common.config import ScaParameters
+from repro.common.errors import ConfigurationError
+from repro.net.faults import BroadcastOmissionFault, NoFault
+
+
+class TestScenarioConfiguration:
+    def test_protocol_config_reflects_scenario_fields(self):
+        scenario = ElectionScenario(
+            protocol="raft",
+            cluster_size=5,
+            raft_timeout_range=(1500.0, 6000.0),
+            heartbeat_interval_ms=100.0,
+            sca=ScaParameters(1500.0, 250.0),
+        )
+        config = scenario.protocol_config()
+        assert config.raft_timeouts.timeout_max_ms == 6000.0
+        assert config.heartbeat_interval_ms == 100.0
+        assert config.sca.k_ms == 250.0
+
+    def test_latency_model_uses_range(self):
+        scenario = ElectionScenario(protocol="raft", cluster_size=5, latency_range=(10.0, 20.0))
+        model = scenario.latency_model()
+        assert (model.low_ms, model.high_ms) == (10.0, 20.0)
+
+    def test_fault_injector_depends_on_loss_rate(self):
+        assert isinstance(
+            ElectionScenario(protocol="raft", cluster_size=5).fault_injector(), NoFault
+        )
+        fault = ElectionScenario(
+            protocol="raft", cluster_size=5, loss_rate=0.3
+        ).fault_injector()
+        assert isinstance(fault, BroadcastOmissionFault)
+        assert fault.loss_rate == 0.3
+
+    def test_with_protocol_keeps_everything_else(self):
+        scenario = ElectionScenario(protocol="raft", cluster_size=10, loss_rate=0.2)
+        other = scenario.with_protocol("escape")
+        assert other.protocol == "escape"
+        assert other.cluster_size == 10
+        assert other.loss_rate == 0.2
+
+    def test_negative_contention_rejected_at_build_time(self):
+        scenario = ElectionScenario(protocol="raft", cluster_size=5, contention_phases=-1)
+        with pytest.raises(ConfigurationError):
+            scenario.build(seed=0)
+
+
+class TestScenarioRuns:
+    def test_run_is_deterministic_for_a_seed(self):
+        scenario = ElectionScenario(protocol="escape", cluster_size=5)
+        first = scenario.run(seed=123)
+        second = scenario.run(seed=123)
+        assert first.total_ms == second.total_ms
+        assert first.winner_id == second.winner_id
+        assert first.detection_ms == second.detection_ms
+
+    def test_different_seeds_give_different_outcomes(self):
+        scenario = ElectionScenario(protocol="raft", cluster_size=5)
+        totals = {scenario.run(seed=seed).total_ms for seed in range(4)}
+        assert len(totals) > 1
+
+    def test_run_many_produces_requested_number_of_measurements(self):
+        scenario = ElectionScenario(protocol="escape", cluster_size=4)
+        measurements = scenario.run_many(runs=3, base_seed=9)
+        assert len(measurements) == 3
+        assert all(m.converged for m in measurements)
+
+    def test_measurement_extra_records_scenario_parameters(self):
+        scenario = ElectionScenario(
+            protocol="escape", cluster_size=4, loss_rate=0.2, workload_interval_ms=100.0
+        )
+        measurement = scenario.run(seed=5)
+        assert measurement.extra["loss_rate"] == 0.2
+        assert measurement.extra["contention_phases"] == 0
+        assert measurement.extra["workload_proposed"] > 0
+
+    def test_contention_scenario_forces_split_votes_in_raft(self):
+        scenario = ElectionScenario(protocol="raft", cluster_size=5, contention_phases=2)
+        measurements = scenario.run_many(runs=3, base_seed=1)
+        assert any(m.split_vote for m in measurements)
+
+    def test_contention_scenario_does_not_split_escape(self):
+        scenario = ElectionScenario(protocol="escape", cluster_size=5, contention_phases=2)
+        measurements = scenario.run_many(runs=3, base_seed=1)
+        assert all(not m.split_vote for m in measurements)
+        assert all(m.converged for m in measurements)
+
+    def test_paired_protocol_comparison_uses_same_seed(self):
+        raft = ElectionScenario(protocol="raft", cluster_size=5)
+        escape = raft.with_protocol("escape")
+        assert raft.run(seed=77).crash_time_ms != 0
+        assert escape.run(seed=77).converged

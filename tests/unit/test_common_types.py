@@ -1,0 +1,40 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import format_server, parse_server
+
+
+class TestFormatServer:
+    def test_formats_positive_identifier(self):
+        assert format_server(3) == "S3"
+
+    def test_formats_large_identifier(self):
+        assert format_server(128) == "S128"
+
+
+class TestParseServer:
+    def test_round_trips_with_format(self):
+        for server_id in (1, 7, 42, 128):
+            assert parse_server(format_server(server_id)) == server_id
+
+    def test_accepts_lowercase_prefix(self):
+        assert parse_server("s9") == 9
+
+    def test_rejects_missing_prefix(self):
+        with pytest.raises(ValueError):
+            parse_server("42")
+
+    def test_rejects_non_numeric_suffix(self):
+        with pytest.raises(ValueError):
+            parse_server("Sx")
+
+    def test_rejects_zero_and_negative_ids(self):
+        with pytest.raises(ValueError):
+            parse_server("S0")
+        with pytest.raises(ValueError):
+            parse_server("S-3")
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(ValueError):
+            parse_server("")

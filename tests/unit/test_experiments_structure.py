@@ -1,0 +1,156 @@
+"""Unit tests for the experiment modules' structure and reporting.
+
+These tests run the sweeps with tiny run counts and cluster sizes: they verify
+the plumbing (labels, series shapes, report rendering, CLI wiring), while the
+integration suite checks the paper-level claims on realistic settings.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_k_sweep,
+    ablation_ppf,
+    fig03_randomization,
+    fig04_randomization_average,
+    fig09_scale,
+    fig10_competing_candidates,
+    fig11_message_loss,
+)
+from repro.experiments.__main__ import EXPERIMENTS, build_parser
+from repro.experiments.base import flatten_sets, paired_seeds, run_scenario_set
+from repro.cluster.scenarios import ElectionScenario
+
+
+class TestBaseHelpers:
+    def test_run_scenario_set_collects_per_label_sets(self):
+        scenarios = {
+            "a": ElectionScenario(protocol="escape", cluster_size=3),
+            "b": ElectionScenario(protocol="raft", cluster_size=3),
+        }
+        results = run_scenario_set(scenarios, runs=2, seed=1)
+        assert set(results) == {"a", "b"}
+        assert all(len(measurement_set) == 2 for measurement_set in results.values())
+
+    def test_seeds_are_stable_per_label(self):
+        assert paired_seeds(3, seed=5, label="x") == paired_seeds(3, seed=5, label="x")
+        assert paired_seeds(3, seed=5, label="x") != paired_seeds(3, seed=5, label="y")
+
+    def test_progress_callback_is_invoked(self):
+        calls = []
+        run_scenario_set(
+            {"only": ElectionScenario(protocol="escape", cluster_size=3)},
+            runs=2,
+            seed=0,
+            progress=lambda label, done, total: calls.append((label, done, total)),
+        )
+        assert calls == [("only", 1, 2), ("only", 2, 2)]
+
+    def test_flatten_sets_merges_measurements(self):
+        scenarios = {"a": ElectionScenario(protocol="escape", cluster_size=3)}
+        results = run_scenario_set(scenarios, runs=2, seed=0)
+        merged = flatten_sets(results.values())
+        assert len(merged) == 2
+
+
+class TestFig03:
+    def test_sweep_covers_requested_ranges(self):
+        ranges = ((500.0, 700.0), (500.0, 1_200.0))
+        result = fig03_randomization.run(
+            runs=2,
+            seed=0,
+            timeout_ranges=ranges,
+            cluster_size=3,
+        )
+        assert result.timeout_ranges == ranges
+        assert set(result.by_range) == {"500-700", "500-1200"}
+        cdf = result.cdf_for(ranges[0])
+        assert cdf and cdf[-1][1] == pytest.approx(1.0)
+
+    def test_report_contains_one_row_per_range(self):
+        result = fig03_randomization.run(
+            runs=2, seed=0, timeout_ranges=((500.0, 900.0),), cluster_size=3
+        )
+        report = fig03_randomization.report(result)
+        assert "500-900" in report
+        assert "split votes" in report
+
+
+class TestFig04:
+    def test_averages_derived_from_fig03(self):
+        fig3 = fig03_randomization.run(
+            runs=2, seed=0, timeout_ranges=((500.0, 800.0), (500.0, 1_500.0)), cluster_size=3
+        )
+        result = fig04_randomization_average.from_fig03(fig3)
+        assert len(result.average_total_ms) == 2
+        assert all(total > 0 for total in result.average_total_ms)
+        for detection, election, total in zip(
+            result.average_detection_ms, result.average_election_ms, result.average_total_ms
+        ):
+            assert total == pytest.approx(detection + election)
+        assert len(result.as_series()) == 2
+        assert "Figure 4" in fig04_randomization_average.report(result)
+
+
+class TestFig09:
+    def test_result_exposes_cdf_average_and_reduction(self):
+        result = fig09_scale.run(runs=2, seed=0, sizes=(3, 4))
+        assert result.sizes == (3, 4)
+        assert result.average_for("raft", 3) > 0
+        assert result.average_for("escape", 4) > 0
+        assert isinstance(result.reduction_for(3), float)
+        assert result.cdf_for("escape", 3)
+        report = fig09_scale.report(result)
+        assert "Figure 9" in report and "reduction" in report
+
+
+class TestFig10:
+    def test_cells_cover_sizes_and_phases(self):
+        result = fig10_competing_candidates.run(runs=1, seed=0, sizes=(4,), phases=(0, 1))
+        assert set(result.by_label) == {
+            "raft@4/0cc",
+            "escape@4/0cc",
+            "raft@4/1cc",
+            "escape@4/1cc",
+        }
+        detection, election = result.detection_election_for("escape", 4, 1)
+        assert detection > 0 and election >= 0
+        assert "Figure 10" in fig10_competing_candidates.report(result)
+
+
+class TestFig11:
+    def test_cells_cover_protocols_sizes_and_losses(self):
+        result = fig11_message_loss.run(
+            runs=1, seed=0, sizes=(4,), loss_rates=(0.0, 0.2)
+        )
+        assert len(result.by_label) == 6  # 3 protocols x 1 size x 2 loss rates
+        assert result.average_for("zraft", 4, 0.2) > 0
+        assert isinstance(result.reduction_vs_raft("escape", 4, 0.0), float)
+        assert "Figure 11" in fig11_message_loss.report(result)
+
+
+class TestAblations:
+    def test_ppf_ablation_structure(self):
+        result = ablation_ppf.run(runs=1, seed=0, cluster_size=4, loss_rates=(0.0,))
+        assert result.average_for("escape", 0.0) > 0
+        assert isinstance(result.ppf_benefit_percent(0.0), float)
+        assert "PPF" in ablation_ppf.report(result)
+
+    def test_k_sweep_structure(self):
+        result = ablation_k_sweep.run(runs=1, seed=0, cluster_size=4, k_values=(100.0, 500.0))
+        assert result.average_for(100.0) > 0
+        assert result.mean_campaigns_for(500.0) >= 1.0
+        assert "k" in ablation_k_sweep.report(result)
+
+
+class TestCli:
+    def test_parser_knows_every_experiment(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig9", "--runs", "3", "--quick"])
+        assert args.experiment == "fig9"
+        assert args.runs == 3
+        assert args.quick
+
+    def test_registry_and_parser_agree(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            assert parser.parse_args([name]).experiment == name

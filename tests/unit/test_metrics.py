@@ -1,0 +1,167 @@
+"""Unit tests for measurement records, statistics and table rendering."""
+
+import pytest
+
+from repro.common.errors import ClusterError
+from repro.metrics.records import ElectionMeasurement, MeasurementSet
+from repro.metrics.stats import (
+    cumulative_distribution,
+    fraction_at_or_below,
+    percentile,
+    reduction_percent,
+    summarize,
+)
+from repro.metrics.tables import render_comparison_table, render_table
+
+
+def measurement(total=2000.0, converged=True, split=False, protocol="raft", **kwargs):
+    detection = kwargs.pop("detection", total * 0.8)
+    return ElectionMeasurement(
+        protocol=protocol,
+        cluster_size=kwargs.pop("cluster_size", 8),
+        seed=kwargs.pop("seed", 0),
+        converged=converged,
+        crash_time_ms=1_000.0,
+        detection_ms=detection,
+        election_ms=total - detection,
+        total_ms=total,
+        campaign_count=kwargs.pop("campaigns", 1),
+        split_vote=split,
+        winner_id=2 if converged else None,
+        winner_term=5 if converged else None,
+        **kwargs,
+    )
+
+
+class TestElectionMeasurement:
+    def test_converged_measurement_requires_winner(self):
+        with pytest.raises(ClusterError):
+            ElectionMeasurement(
+                protocol="raft",
+                cluster_size=3,
+                seed=0,
+                converged=True,
+                crash_time_ms=0.0,
+                detection_ms=1.0,
+                election_ms=1.0,
+                total_ms=2.0,
+                campaign_count=1,
+                split_vote=False,
+                winner_id=None,
+                winner_term=None,
+            )
+
+    def test_extra_mapping_is_mutable(self):
+        m = measurement()
+        m.extra["note"] = "x"
+        assert m.extra["note"] == "x"
+
+
+class TestMeasurementSet:
+    def test_totals_only_include_converged_runs(self):
+        measurements = MeasurementSet(
+            [measurement(2000.0), measurement(3000.0, converged=False), measurement(4000.0)]
+        )
+        assert measurements.totals_ms() == [2000.0, 4000.0]
+        assert measurements.mean_total_ms() == 3000.0
+        assert len(measurements.converged) == 2
+
+    def test_split_vote_and_convergence_fractions(self):
+        measurements = MeasurementSet(
+            [measurement(split=True), measurement(), measurement(converged=False)]
+        )
+        assert measurements.split_vote_fraction() == pytest.approx(1 / 3)
+        assert measurements.convergence_fraction() == pytest.approx(2 / 3)
+
+    def test_empty_set_behaviour(self):
+        empty = MeasurementSet(label="empty")
+        assert empty.split_vote_fraction() == 0.0
+        assert empty.convergence_fraction() == 0.0
+        with pytest.raises(ClusterError):
+            empty.mean_total_ms()
+
+    def test_values_selector(self):
+        measurements = MeasurementSet([measurement(campaigns=2), measurement(campaigns=4)])
+        assert measurements.values(lambda m: m.campaign_count) == [2, 4]
+
+    def test_add_and_iterate(self):
+        measurements = MeasurementSet()
+        measurements.add(measurement())
+        assert len(list(measurements)) == 1
+
+
+class TestStats:
+    def test_cdf_is_monotone_and_ends_at_one(self):
+        cdf = cumulative_distribution([30.0, 10.0, 20.0])
+        assert cdf == [(10.0, pytest.approx(1 / 3)), (20.0, pytest.approx(2 / 3)), (30.0, 1.0)]
+
+    def test_cdf_of_empty_sequence(self):
+        assert cumulative_distribution([]) == []
+
+    def test_fraction_at_or_below(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_at_or_below(values, 2.5) == 0.5
+        assert fraction_at_or_below([], 1.0) == 0.0
+
+    def test_percentiles(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50.0) == pytest.approx(50.5)
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 100.0) == 100
+        assert percentile([42.0], 75.0) == 42.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ClusterError):
+            percentile([], 50.0)
+        with pytest.raises(ClusterError):
+            percentile([1.0], 120.0)
+
+    def test_summarize(self):
+        summary = summarize([100.0, 200.0, 300.0, 400.0])
+        assert summary.count == 4
+        assert summary.mean == 250.0
+        assert summary.minimum == 100.0
+        assert summary.maximum == 400.0
+        assert summary.std_dev == pytest.approx(111.80, rel=1e-3)
+        assert "mean=250.0ms" in summary.describe()
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ClusterError):
+            summarize([])
+
+    def test_reduction_percent_matches_paper_style(self):
+        # "ESCAPE shortens the leader election time by 21.3%" style numbers.
+        assert reduction_percent(1000.0, 787.0) == pytest.approx(21.3)
+        with pytest.raises(ClusterError):
+            reduction_percent(0.0, 1.0)
+
+
+class TestTables:
+    def test_render_table_aligns_columns(self):
+        text = render_table(
+            headers=["name", "value"],
+            rows=[["raft", 2000.123], ["escape", 1700]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(headers=["a", "b"], rows=[[1]])
+
+    def test_render_comparison_table(self):
+        text = render_comparison_table(
+            row_labels=[8, 16],
+            series={"raft": [2000.0, 2500.0], "escape": [1800.0, 1900.0]},
+            row_header="servers",
+        )
+        assert "servers" in text
+        assert "2500.0" in text
+        assert "escape" in text
+
+    def test_render_comparison_table_with_missing_values(self):
+        text = render_comparison_table(row_labels=[1, 2], series={"x": [10.0]})
+        assert "-" in text

@@ -1,0 +1,255 @@
+"""Unit tests for RaftNode leader election, driven through a fake environment."""
+
+import pytest
+
+from helpers import FakeEnvironment, fast_protocol_config, small_cluster
+
+from repro.common.errors import NotLeaderError, ProtocolError
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    RequestVoteRequest,
+    RequestVoteResponse,
+)
+from repro.raft.node import RaftNode
+from repro.raft.state import Role
+from repro.raft.timers import FixedTimeoutPolicy
+from repro.storage.log import LogEntry
+from repro.storage.persistent import InMemoryStore
+
+
+def make_node(node_id=1, size=3, env=None, **kwargs):
+    env = env if env is not None else FakeEnvironment(node_id=node_id)
+    node = RaftNode(
+        node_id=node_id,
+        cluster=small_cluster(size),
+        env=env,
+        protocol_config=kwargs.pop("protocol_config", fast_protocol_config()),
+        **kwargs,
+    )
+    return node, env
+
+
+class TestStartup:
+    def test_node_starts_as_follower_with_election_timer(self):
+        node, env = make_node()
+        node.start()
+        assert node.role is Role.FOLLOWER
+        assert node.is_running
+        assert "S1:election-timeout" in env.pending_timer_labels()
+
+    def test_double_start_rejected(self):
+        node, _ = make_node()
+        node.start()
+        with pytest.raises(ProtocolError):
+            node.start()
+
+    def test_node_id_must_belong_to_cluster(self):
+        with pytest.raises(ProtocolError):
+            RaftNode(node_id=9, cluster=small_cluster(3), env=FakeEnvironment())
+
+
+class TestBecomingCandidate:
+    def test_election_timeout_starts_a_campaign(self):
+        node, env = make_node()
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        assert node.role is Role.CANDIDATE
+        assert node.current_term == 1
+        assert node.voted_for == 1
+        requests = env.sent_payloads(RequestVoteRequest)
+        assert len(requests) == 2  # one per peer
+        assert all(request.term == 1 for request in requests)
+
+    def test_campaign_includes_log_position(self):
+        store = InMemoryStore()
+        log = store.load_log()
+        log.append_entry(LogEntry(term=3, index=1, command="x"))
+        store.save_term_and_vote(3, None)
+        node, env = make_node(store=store)
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        request = env.sent_payloads(RequestVoteRequest)[0]
+        assert request.last_log_index == 1
+        assert request.last_log_term == 3
+        assert request.term == 4
+
+    def test_winning_quorum_promotes_to_leader_and_sends_heartbeats(self):
+        node, env = make_node()
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        env.clear_sent()
+        node.on_message(2, RequestVoteResponse(term=1, voter_id=2, vote_granted=True))
+        assert node.role is Role.LEADER
+        assert node.leader_id == 1
+        heartbeats = env.sent_payloads(AppendEntriesRequest)
+        assert len(heartbeats) == 2
+        assert all(hb.is_heartbeat for hb in heartbeats)
+
+    def test_denied_votes_do_not_promote(self):
+        node, env = make_node(size=5)
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        node.on_message(2, RequestVoteResponse(term=1, voter_id=2, vote_granted=False))
+        node.on_message(3, RequestVoteResponse(term=1, voter_id=3, vote_granted=False))
+        assert node.role is Role.CANDIDATE
+
+    def test_stale_vote_responses_are_ignored(self):
+        node, env = make_node(size=5)
+        node.start()
+        env.fire_next_timer("S1:election-timeout")  # term 1
+        env.fire_next_timer("S1:election-timeout")  # term 2, new campaign
+        node.on_message(2, RequestVoteResponse(term=1, voter_id=2, vote_granted=True))
+        node.on_message(3, RequestVoteResponse(term=1, voter_id=3, vote_granted=True))
+        assert node.role is Role.CANDIDATE  # old-term votes must not count
+
+    def test_higher_term_response_forces_step_down(self):
+        node, env = make_node()
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        node.on_message(2, RequestVoteResponse(term=7, voter_id=2, vote_granted=False))
+        assert node.role is Role.FOLLOWER
+        assert node.current_term == 7
+
+    def test_single_node_cluster_elects_itself_immediately(self):
+        node, env = make_node(node_id=1, size=1)
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        assert node.role is Role.LEADER
+
+    def test_vote_requests_are_retransmitted_to_silent_peers(self):
+        node, env = make_node(size=5)
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        node.on_message(2, RequestVoteResponse(term=1, voter_id=2, vote_granted=True))
+        env.clear_sent()
+        env.fire_next_timer("S1:vote-retry")
+        retried = env.sent_payloads(RequestVoteRequest)
+        # Peers 3, 4, 5 have not granted yet; peer 2 must not be spammed again.
+        assert {message.dst for message in env.sent} == {3, 4, 5}
+        assert all(request.term == 1 for request in retried)
+
+    def test_vote_retry_stops_after_becoming_leader(self):
+        node, env = make_node(size=3)
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        node.on_message(2, RequestVoteResponse(term=1, voter_id=2, vote_granted=True))
+        assert node.role is Role.LEADER
+        assert not any(
+            label == "S1:vote-retry" for label in env.pending_timer_labels()
+        )
+
+
+class TestGrantingVotes:
+    def test_grants_vote_to_up_to_date_candidate(self):
+        node, env = make_node(node_id=2)
+        node.start()
+        node.on_message(
+            3, RequestVoteRequest(term=1, candidate_id=3, last_log_index=0, last_log_term=0)
+        )
+        response = env.sent_to(3)[0]
+        assert isinstance(response, RequestVoteResponse)
+        assert response.vote_granted
+        assert node.voted_for == 3
+        assert node.current_term == 1
+
+    def test_refuses_second_vote_in_same_term(self):
+        node, env = make_node(node_id=2)
+        node.start()
+        node.on_message(3, RequestVoteRequest(term=1, candidate_id=3))
+        node.on_message(1, RequestVoteRequest(term=1, candidate_id=1))
+        first, second = env.sent_to(3)[0], env.sent_to(1)[0]
+        assert first.vote_granted
+        assert not second.vote_granted
+
+    def test_repeated_request_from_same_candidate_is_granted_again(self):
+        # Idempotent re-grant supports the candidate's retransmission.
+        node, env = make_node(node_id=2)
+        node.start()
+        node.on_message(3, RequestVoteRequest(term=1, candidate_id=3))
+        node.on_message(3, RequestVoteRequest(term=1, candidate_id=3))
+        responses = env.sent_to(3)
+        assert all(response.vote_granted for response in responses)
+
+    def test_refuses_candidate_with_stale_term(self):
+        store = InMemoryStore()
+        store.save_term_and_vote(5, None)
+        node, env = make_node(node_id=2, store=store)
+        node.start()
+        node.on_message(3, RequestVoteRequest(term=4, candidate_id=3))
+        response = env.sent_to(3)[0]
+        assert not response.vote_granted
+        assert response.term == 5
+
+    def test_refuses_candidate_with_stale_log(self):
+        store = InMemoryStore()
+        store.load_log().append_entry(LogEntry(term=2, index=1, command="x"))
+        node, env = make_node(node_id=2, store=store)
+        node.start()
+        node.on_message(
+            3, RequestVoteRequest(term=3, candidate_id=3, last_log_index=0, last_log_term=0)
+        )
+        response = env.sent_to(3)[0]
+        assert not response.vote_granted
+        # The term still advances (Eq. 3 / Raft rule) even though the vote is denied.
+        assert node.current_term == 3
+
+    def test_granting_a_vote_restarts_the_election_timer(self):
+        node, env = make_node(node_id=2)
+        node.start()
+        first_timer = env.pending_timers()[0]
+        node.on_message(3, RequestVoteRequest(term=1, candidate_id=3))
+        assert first_timer.cancelled
+        assert "S2:election-timeout" in env.pending_timer_labels()
+
+    def test_denied_vote_does_not_restart_the_election_timer(self):
+        store = InMemoryStore()
+        store.load_log().append_entry(LogEntry(term=2, index=1, command="x"))
+        node, env = make_node(node_id=2, store=store)
+        node.start()
+        first_timer = env.pending_timers()[0]
+        node.on_message(3, RequestVoteRequest(term=3, candidate_id=3))
+        assert not first_timer.cancelled
+
+
+class TestTermHandling:
+    def test_terms_never_move_backwards(self):
+        store = InMemoryStore()
+        store.save_term_and_vote(9, None)
+        node, env = make_node(store=store)
+        node.start()
+        node.on_message(2, RequestVoteRequest(term=3, candidate_id=2))
+        assert node.current_term == 9
+
+    def test_crashed_node_ignores_messages(self):
+        node, env = make_node()
+        node.start()
+        node.stop()
+        node.on_message(2, RequestVoteRequest(term=1, candidate_id=2))
+        assert env.sent == []
+
+    def test_unknown_message_type_rejected(self):
+        node, _ = make_node()
+        node.start()
+        with pytest.raises(ProtocolError):
+            node.on_message(2, object())
+
+
+class TestProposalsRequireLeadership:
+    def test_follower_rejects_proposals_and_names_leader(self):
+        node, env = make_node(node_id=2)
+        node.start()
+        node.on_message(
+            1, AppendEntriesRequest(term=1, leader_id=1, prev_log_index=0, prev_log_term=0)
+        )
+        with pytest.raises(NotLeaderError) as excinfo:
+            node.propose("x")
+        assert excinfo.value.known_leader == 1
+
+    def test_leader_timeout_policy_not_used_while_leading(self):
+        node, env = make_node(timeout_policy=FixedTimeoutPolicy(100.0))
+        node.start()
+        env.fire_next_timer("S1:election-timeout")
+        node.on_message(2, RequestVoteResponse(term=1, voter_id=2, vote_granted=True))
+        assert node.role is Role.LEADER
+        # The election timer is cancelled for a leader.
+        assert "S1:election-timeout" not in env.pending_timer_labels()

@@ -1,0 +1,189 @@
+"""Unit tests for timeout policies, vote tallying and replication progress."""
+
+import random
+
+import pytest
+
+from repro.common.config import RaftTimeoutConfig
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.raft.election import VoteTally
+from repro.raft.replication import ReplicationProgress
+from repro.raft.timers import (
+    FixedTimeoutPolicy,
+    OffsetTimeoutPolicy,
+    RandomizedTimeoutPolicy,
+    ScriptOnlyPolicy,
+    ScriptedTimeoutPolicy,
+    scripted_then_random,
+)
+from repro.storage.log import LogEntry, ReplicatedLog
+
+
+class TestTimeoutPolicies:
+    def test_randomized_policy_stays_in_range(self):
+        policy = RandomizedTimeoutPolicy(1500.0, 3000.0)
+        rng = random.Random(0)
+        draws = [policy.next_timeout_ms(rng, attempt=0) for _ in range(200)]
+        assert all(1500.0 <= draw <= 3000.0 for draw in draws)
+        assert len(set(draws)) > 100
+
+    def test_randomized_policy_from_config(self):
+        policy = RandomizedTimeoutPolicy.from_config(RaftTimeoutConfig(1500.0, 1800.0))
+        assert (policy.low_ms, policy.high_ms) == (1500.0, 1800.0)
+
+    def test_fixed_policy_always_returns_value(self):
+        policy = FixedTimeoutPolicy(1500.0)
+        rng = random.Random(0)
+        assert policy.next_timeout_ms(rng, 0) == 1500.0
+        assert policy.next_timeout_ms(rng, 5) == 1500.0
+
+    def test_scripted_policy_replays_then_falls_back(self):
+        policy = ScriptedTimeoutPolicy(
+            script=(100.0, 200.0), fallback=FixedTimeoutPolicy(999.0)
+        )
+        rng = random.Random(0)
+        assert policy.next_timeout_ms(rng, 0) == 100.0
+        assert policy.next_timeout_ms(rng, 1) == 200.0
+        assert policy.next_timeout_ms(rng, 2) == 999.0
+
+    def test_script_only_policy_opts_out_after_script(self):
+        policy = ScriptOnlyPolicy(script=(100.0,))
+        rng = random.Random(0)
+        assert policy.next_timeout_ms(rng, 0) == 100.0
+        assert policy.next_timeout_ms(rng, 1) == 0.0
+
+    def test_offset_policy_adds_constant(self):
+        policy = OffsetTimeoutPolicy(base=FixedTimeoutPolicy(100.0), offset_ms=25.0)
+        assert policy.next_timeout_ms(random.Random(0), 0) == 125.0
+
+    def test_scripted_then_random_helper(self):
+        policy = scripted_then_random([50.0], 100.0, 200.0)
+        rng = random.Random(0)
+        assert policy.next_timeout_ms(rng, 0) == 50.0
+        assert 100.0 <= policy.next_timeout_ms(rng, 1) <= 200.0
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedTimeoutPolicy(300.0, 200.0)
+        with pytest.raises(ConfigurationError):
+            FixedTimeoutPolicy(0.0)
+        with pytest.raises(ConfigurationError):
+            ScriptOnlyPolicy(script=(0.0,))
+
+
+class TestVoteTally:
+    def test_candidate_needs_quorum(self):
+        tally = VoteTally(quorum_size=3)
+        tally.start_campaign(term=5)
+        tally.record_vote(5, 1)
+        tally.record_vote(5, 2)
+        assert not tally.has_quorum()
+        assert tally.votes_needed() == 1
+        tally.record_vote(5, 3)
+        assert tally.has_quorum()
+
+    def test_duplicate_votes_do_not_count_twice(self):
+        tally = VoteTally(quorum_size=2)
+        tally.start_campaign(1)
+        assert tally.record_vote(1, 4)
+        assert not tally.record_vote(1, 4)
+        assert tally.count == 1
+
+    def test_votes_from_other_terms_are_ignored(self):
+        tally = VoteTally(quorum_size=2)
+        tally.start_campaign(3)
+        assert not tally.record_vote(2, 1)
+        assert not tally.record_vote(4, 1)
+        assert tally.count == 0
+
+    def test_new_campaign_resets_votes(self):
+        tally = VoteTally(quorum_size=2)
+        tally.start_campaign(1)
+        tally.record_vote(1, 1)
+        tally.start_campaign(2)
+        assert tally.count == 0
+        assert tally.term == 2
+
+    def test_campaign_terms_must_increase(self):
+        tally = VoteTally(quorum_size=2)
+        tally.start_campaign(5)
+        with pytest.raises(ProtocolError):
+            tally.start_campaign(5)
+
+    def test_votes_property_is_a_copy(self):
+        tally = VoteTally(quorum_size=2)
+        tally.start_campaign(1)
+        tally.record_vote(1, 9)
+        assert tally.votes == frozenset({9})
+
+
+def log_with(terms):
+    log = ReplicatedLog()
+    for index, term in enumerate(terms, start=1):
+        log.append_entry(LogEntry(term=term, index=index))
+    return log
+
+
+class TestReplicationProgress:
+    def test_initial_next_index_is_after_leader_log(self):
+        progress = ReplicationProgress(leader_id=1, peers=[2, 3], last_log_index=4)
+        assert progress.next_index(2) == 5
+        assert progress.match_index(2) == 0
+
+    def test_success_advances_match_and_next(self):
+        progress = ReplicationProgress(1, [2], last_log_index=4)
+        progress.record_success(2, match_index=4)
+        assert progress.match_index(2) == 4
+        assert progress.next_index(2) == 5
+
+    def test_success_never_moves_match_backwards(self):
+        progress = ReplicationProgress(1, [2], last_log_index=4)
+        progress.record_success(2, 4)
+        progress.record_success(2, 2)  # stale duplicate reply
+        assert progress.match_index(2) == 4
+
+    def test_failure_rewinds_next_index_using_follower_hint(self):
+        progress = ReplicationProgress(1, [2], last_log_index=10)
+        progress.record_failure(2, follower_last_index=3)
+        assert progress.next_index(2) == 4
+
+    def test_failure_never_goes_below_one(self):
+        progress = ReplicationProgress(1, [2], last_log_index=0)
+        progress.record_failure(2, follower_last_index=0)
+        assert progress.next_index(2) == 1
+
+    def test_unknown_peer_rejected(self):
+        progress = ReplicationProgress(1, [2], last_log_index=0)
+        with pytest.raises(ProtocolError):
+            progress.record_success(9, 1)
+
+    def test_commit_index_requires_quorum_in_current_term(self):
+        log = log_with([1, 1, 2])
+        progress = ReplicationProgress(1, [2, 3, 4, 5], last_log_index=3)
+        progress.record_local_append(3)
+        # Leader + one follower hold index 3: that is 2 replicas, below the
+        # quorum of 3 in a 5-server cluster, so nothing commits yet.
+        progress.record_success(2, 3)
+        assert progress.commit_index_for_quorum(3, log, current_term=2) == 0
+        # With a second follower the term-2 entry reaches a quorum.
+        progress.record_success(3, 3)
+        assert progress.commit_index_for_quorum(3, log, current_term=2) == 3
+
+    def test_commit_index_ignores_entries_from_older_terms(self):
+        # Raft never commits an older-term entry by counting replicas.
+        log = log_with([1, 1])
+        progress = ReplicationProgress(1, [2, 3], last_log_index=2)
+        progress.record_local_append(2)
+        progress.record_success(2, 2)
+        progress.record_success(3, 2)
+        assert progress.commit_index_for_quorum(2, log, current_term=3) == 0
+
+    def test_stale_followers_lists_lagging_peers(self):
+        progress = ReplicationProgress(1, [2, 3], last_log_index=5)
+        progress.record_success(2, 5)
+        assert progress.stale_followers(5) == [3]
+
+    def test_peers_view_is_a_copy(self):
+        progress = ReplicationProgress(1, [2], last_log_index=0)
+        view = progress.peers
+        assert set(view) == {2}

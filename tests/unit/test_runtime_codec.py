@@ -1,0 +1,121 @@
+"""Unit tests for the JSON message codec used by the asyncio runtime."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.escape.configuration import ConfigStatus, Configuration
+from repro.escape.messages import (
+    EscapeAppendEntriesRequest,
+    EscapeAppendEntriesResponse,
+    EscapeRequestVoteRequest,
+)
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    RequestVoteRequest,
+    RequestVoteResponse,
+)
+from repro.runtime.codec import (
+    decode_datagram,
+    decode_message,
+    encode_datagram,
+    encode_message,
+)
+from repro.statemachine.kvstore import PutCommand
+from repro.storage.log import LogEntry
+
+
+def round_trip(message):
+    return decode_message(encode_message(message))
+
+
+class TestRaftMessages:
+    def test_request_vote_round_trip(self):
+        message = RequestVoteRequest(term=4, candidate_id=2, last_log_index=7, last_log_term=3)
+        assert round_trip(message) == message
+
+    def test_request_vote_response_round_trip(self):
+        message = RequestVoteResponse(term=4, voter_id=5, vote_granted=True)
+        assert round_trip(message) == message
+
+    def test_append_entries_round_trip_with_entries(self):
+        message = AppendEntriesRequest(
+            term=2,
+            leader_id=1,
+            prev_log_index=3,
+            prev_log_term=1,
+            entries=(
+                LogEntry(term=2, index=4, command={"op": "put", "key": "a", "value": 1}),
+                LogEntry(term=2, index=5, command=None),
+            ),
+            leader_commit=3,
+        )
+        decoded = round_trip(message)
+        assert decoded == message
+        assert type(decoded) is AppendEntriesRequest
+
+    def test_append_entries_response_round_trip(self):
+        message = AppendEntriesResponse(term=2, follower_id=3, success=False, match_index=9)
+        assert round_trip(message) == message
+
+    def test_dataclass_commands_are_encoded_via_to_dict(self):
+        message = AppendEntriesRequest(
+            term=1,
+            leader_id=1,
+            entries=(LogEntry(term=1, index=1, command=PutCommand("k", 7)),),
+        )
+        decoded = round_trip(message)
+        assert decoded.entries[0].command == {"op": "put", "key": "k", "value": 7}
+
+
+class TestEscapeMessages:
+    def test_escape_vote_request_round_trip_preserves_subclass(self):
+        message = EscapeRequestVoteRequest(
+            term=9, candidate_id=4, last_log_index=2, last_log_term=1, conf_clock=6, priority=5
+        )
+        decoded = round_trip(message)
+        assert decoded == message
+        assert type(decoded) is EscapeRequestVoteRequest
+
+    def test_escape_append_entries_with_configuration(self):
+        message = EscapeAppendEntriesRequest(
+            term=3,
+            leader_id=2,
+            new_config=Configuration(priority=5, timer_period_ms=1500.0, conf_clock=8),
+        )
+        decoded = round_trip(message)
+        assert decoded.new_config == message.new_config
+        assert type(decoded) is EscapeAppendEntriesRequest
+
+    def test_escape_append_entries_without_configuration(self):
+        message = EscapeAppendEntriesRequest(term=3, leader_id=2, new_config=None)
+        assert round_trip(message).new_config is None
+
+    def test_escape_response_with_status(self):
+        message = EscapeAppendEntriesResponse(
+            term=3,
+            follower_id=4,
+            success=True,
+            match_index=11,
+            config_status=ConfigStatus(log_index=11, timer_period_ms=2000.0, conf_clock=8),
+        )
+        decoded = round_trip(message)
+        assert decoded == message
+
+
+class TestDatagrams:
+    def test_datagram_round_trip(self):
+        message = RequestVoteResponse(term=1, voter_id=2, vote_granted=False)
+        src, decoded = decode_datagram(encode_datagram(7, message))
+        assert src == 7
+        assert decoded == message
+
+    def test_malformed_datagram_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_datagram(b"\xff\x00 not json")
+
+    def test_unknown_message_types_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message(object())
+        with pytest.raises(ProtocolError):
+            decode_message({"type": "Mystery", "term": 1})

@@ -1,0 +1,166 @@
+"""Unit tests for the virtual clock and the discrete-event scheduler."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import EventScheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance_to_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(125.5)
+        assert clock.now() == 125.5
+
+    def test_advance_by_accumulates(self):
+        clock = VirtualClock(10.0)
+        clock.advance_by(5.0)
+        clock.advance_by(2.5)
+        assert clock.now() == 17.5
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock(100.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(50.0)
+        with pytest.raises(SimulationError):
+            clock.advance_by(-1.0)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-1.0)
+
+
+class TestSchedulerOrdering:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.call_after(30.0, lambda: order.append("c"))
+        scheduler.call_after(10.0, lambda: order.append("a"))
+        scheduler.call_after(20.0, lambda: order.append("b"))
+        scheduler.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        for name in ("first", "second", "third"):
+            scheduler.call_at(50.0, lambda name=name: order.append(name))
+        scheduler.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_reflects_last_executed_event(self):
+        scheduler = EventScheduler()
+        scheduler.call_after(40.0, lambda: None)
+        scheduler.run_until_idle()
+        assert scheduler.now() == 40.0
+
+    def test_events_scheduled_during_execution_run(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def outer():
+            seen.append("outer")
+            scheduler.call_after(5.0, lambda: seen.append("inner"))
+
+        scheduler.call_after(10.0, outer)
+        scheduler.run_until_idle()
+        assert seen == ["outer", "inner"]
+        assert scheduler.now() == 15.0
+
+
+class TestSchedulerCancellation:
+    def test_cancelled_events_do_not_run(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.call_after(10.0, lambda: fired.append(1))
+        handle.cancel()
+        scheduler.run_until_idle()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        scheduler = EventScheduler()
+        handle = scheduler.call_after(10.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert scheduler.pending_count == 0
+
+    def test_pending_count_ignores_cancelled(self):
+        scheduler = EventScheduler()
+        keep = scheduler.call_after(5.0, lambda: None)
+        drop = scheduler.call_after(6.0, lambda: None)
+        drop.cancel()
+        assert scheduler.pending_count == 1
+        assert not keep.cancelled
+
+
+class TestSchedulerRunModes:
+    def test_run_until_executes_only_due_events(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_after(10.0, lambda: fired.append("early"))
+        scheduler.call_after(100.0, lambda: fired.append("late"))
+        scheduler.run_until(50.0)
+        assert fired == ["early"]
+        assert scheduler.now() == 50.0
+        scheduler.run_until_idle()
+        assert fired == ["early", "late"]
+
+    def test_run_until_condition_stops_when_condition_holds(self):
+        scheduler = EventScheduler()
+        state = {"count": 0}
+        for _ in range(10):
+            scheduler.call_after(10.0 * (_ + 1), lambda: state.update(count=state["count"] + 1))
+        satisfied = scheduler.run_until_condition(
+            lambda: state["count"] >= 3, max_time_ms=1_000.0
+        )
+        assert satisfied
+        assert state["count"] == 3
+
+    def test_run_until_condition_times_out(self):
+        scheduler = EventScheduler()
+        scheduler.call_after(500.0, lambda: None)
+        satisfied = scheduler.run_until_condition(lambda: False, max_time_ms=100.0)
+        assert not satisfied
+        assert scheduler.now() == 100.0
+
+    def test_run_until_condition_true_immediately(self):
+        scheduler = EventScheduler()
+        assert scheduler.run_until_condition(lambda: True, max_time_ms=10.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventScheduler().step() is False
+
+
+class TestSchedulerSafety:
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = EventScheduler()
+        scheduler.call_after(10.0, lambda: None)
+        scheduler.run_until_idle()
+        with pytest.raises(SimulationError):
+            scheduler.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().call_after(-1.0, lambda: None)
+
+    def test_event_budget_stops_runaway_simulations(self):
+        scheduler = EventScheduler(max_events=50)
+
+        def reschedule():
+            scheduler.call_after(1.0, reschedule)
+
+        scheduler.call_after(1.0, reschedule)
+        with pytest.raises(SimulationError, match="budget"):
+            scheduler.run_until_idle()
+
+    def test_executed_count_tracks_events(self):
+        scheduler = EventScheduler()
+        for _ in range(5):
+            scheduler.call_after(1.0, lambda: None)
+        scheduler.run_until_idle()
+        assert scheduler.executed_count == 5

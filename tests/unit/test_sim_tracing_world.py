@@ -1,0 +1,84 @@
+"""Unit tests for the tracer and the simulation world."""
+
+from repro.sim.tracing import Tracer
+from repro.sim.world import SimulationWorld
+
+
+class TestTracer:
+    def test_records_are_kept_in_order(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a")
+        tracer.record(2.0, "b", node=3, detail_key="x")
+        assert [record.category for record in tracer] == ["a", "b"]
+        assert tracer.records[1].detail == {"detail_key": "x"}
+
+    def test_filter_by_category_node_and_prefix(self):
+        tracer = Tracer()
+        tracer.record(1.0, "election.start", node=1)
+        tracer.record(2.0, "election.won", node=2)
+        tracer.record(3.0, "net.drop", node=1)
+        assert len(tracer.filter(category="election.won")) == 1
+        assert len(tracer.filter(prefix="election.")) == 2
+        assert len(tracer.filter(node=1)) == 2
+        assert len(tracer.filter(prefix="election.", node=1)) == 1
+
+    def test_count_by_category(self):
+        tracer = Tracer()
+        for _ in range(3):
+            tracer.record(0.0, "x")
+        assert tracer.count("x") == 3
+        assert tracer.count("y") == 0
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "a")
+        assert len(tracer) == 0
+
+    def test_capacity_caps_recording(self):
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            tracer.record(float(index), "x")
+        assert len(tracer) == 2
+
+    def test_clear_resets(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_timeline_renders_one_line_per_record(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a", node=2, foo="bar")
+        tracer.record(2.0, "b")
+        timeline = tracer.timeline()
+        assert "S2" in timeline
+        assert "foo=bar" in timeline
+        assert len(timeline.splitlines()) == 2
+
+
+class TestSimulationWorld:
+    def test_world_wires_clock_and_scheduler_together(self):
+        world = SimulationWorld(seed=3)
+        fired = []
+        world.scheduler.call_after(25.0, lambda: fired.append(world.now()))
+        world.run_for(100.0)
+        assert fired == [25.0]
+        assert world.now() == 100.0
+
+    def test_trace_helper_stamps_current_time(self):
+        world = SimulationWorld(seed=3)
+        world.scheduler.call_after(10.0, lambda: world.trace("tick", node=1))
+        world.run_for(20.0)
+        record = world.tracer.records[0]
+        assert record.time_ms == 10.0
+        assert record.node == 1
+
+    def test_same_seed_gives_identical_streams(self):
+        a = SimulationWorld(seed=9).seeds.stream("latency")
+        b = SimulationWorld(seed=9).seeds.stream("latency")
+        assert [a.random() for _ in range(4)] == [b.random() for _ in range(4)]
+
+    def test_trace_can_be_disabled(self):
+        world = SimulationWorld(seed=1, trace=False)
+        world.trace("anything")
+        assert len(world.tracer) == 0

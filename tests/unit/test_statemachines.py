@@ -1,0 +1,130 @@
+"""Unit tests for the replicated state machines."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.statemachine.kvstore import (
+    CompareAndSwapCommand,
+    DeleteCommand,
+    GetCommand,
+    KeyValueStore,
+    PutCommand,
+    command_from_dict,
+)
+from repro.statemachine.register import AppendRegister, CounterMachine
+
+
+class TestKeyValueStore:
+    def test_put_returns_previous_value(self):
+        store = KeyValueStore()
+        assert store.apply(PutCommand("x", 1)) is None
+        assert store.apply(PutCommand("x", 2)) == 1
+        assert store.get("x") == 2
+
+    def test_get_reads_current_value(self):
+        store = KeyValueStore()
+        store.apply(PutCommand("k", "v"))
+        assert store.apply(GetCommand("k")) == "v"
+        assert store.apply(GetCommand("missing")) is None
+
+    def test_delete_reports_existence(self):
+        store = KeyValueStore()
+        store.apply(PutCommand("k", 1))
+        assert store.apply(DeleteCommand("k")) is True
+        assert store.apply(DeleteCommand("k")) is False
+        assert "k" not in store
+
+    def test_compare_and_swap(self):
+        store = KeyValueStore()
+        store.apply(PutCommand("k", 1))
+        assert store.apply(CompareAndSwapCommand("k", expected=1, new_value=2)) is True
+        assert store.apply(CompareAndSwapCommand("k", expected=1, new_value=3)) is False
+        assert store.get("k") == 2
+
+    def test_apply_accepts_dict_commands(self):
+        # The asyncio runtime delivers commands in their JSON form.
+        store = KeyValueStore()
+        store.apply({"op": "put", "key": "a", "value": 10})
+        assert store.apply({"op": "get", "key": "a"}) == 10
+        assert store.apply({"op": "cas", "key": "a", "expected": 10, "new_value": 11}) is True
+        assert store.apply({"op": "delete", "key": "a"}) is True
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            KeyValueStore().apply(("unknown",))
+        with pytest.raises(ProtocolError):
+            command_from_dict({"op": "exotic"})
+
+    def test_snapshot_and_restore(self):
+        store = KeyValueStore()
+        store.apply(PutCommand("a", 1))
+        snapshot = store.snapshot()
+        other = KeyValueStore()
+        other.restore(snapshot)
+        assert other.get("a") == 1
+        # The snapshot is a copy, not a live view.
+        store.apply(PutCommand("a", 2))
+        assert snapshot["a"] == 1
+
+    def test_determinism_across_replicas(self):
+        commands = [
+            PutCommand("x", 1),
+            PutCommand("y", 2),
+            CompareAndSwapCommand("x", 1, 10),
+            DeleteCommand("y"),
+        ]
+        first, second = KeyValueStore(), KeyValueStore()
+        first_results = [first.apply(command) for command in commands]
+        second_results = [second.apply(command) for command in commands]
+        assert first_results == second_results
+        assert first.snapshot() == second.snapshot()
+
+    def test_applied_count_and_len(self):
+        store = KeyValueStore()
+        store.apply(PutCommand("x", 1))
+        store.apply(PutCommand("y", 1))
+        assert store.applied_count == 2
+        assert len(store) == 2
+
+    def test_command_to_dict_round_trip(self):
+        for command in (
+            PutCommand("k", 5),
+            GetCommand("k"),
+            DeleteCommand("k"),
+            CompareAndSwapCommand("k", 1, 2),
+        ):
+            assert command_from_dict(command.to_dict()) == command
+
+
+class TestAppendRegister:
+    def test_records_commands_in_order(self):
+        register = AppendRegister()
+        assert register.apply("a") == 1
+        assert register.apply("b") == 2
+        assert register.history == ["a", "b"]
+
+    def test_snapshot_restore(self):
+        register = AppendRegister()
+        register.apply("a")
+        clone = AppendRegister()
+        clone.restore(register.snapshot())
+        assert clone.history == ["a"]
+
+
+class TestCounterMachine:
+    def test_incr_decr_add(self):
+        counter = CounterMachine()
+        assert counter.apply("incr") == 1
+        assert counter.apply(("add", 5)) == 6
+        assert counter.apply("decr") == 5
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            CounterMachine().apply("unknown")
+
+    def test_snapshot_restore(self):
+        counter = CounterMachine()
+        counter.apply(("add", 7))
+        clone = CounterMachine()
+        clone.restore(counter.snapshot())
+        assert clone.value == 7

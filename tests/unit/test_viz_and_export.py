@@ -1,0 +1,148 @@
+"""Unit tests for the ASCII charts and the result export helpers."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.export import (
+    CSV_FIELDS,
+    measurement_to_row,
+    read_measurements_csv,
+    read_summary_json,
+    write_measurements_csv,
+    write_summary_json,
+)
+from repro.metrics.records import ElectionMeasurement, MeasurementSet
+from repro.viz import render_cdf_chart, render_grouped_bars, render_histogram, sparkline
+
+
+class TestSparkline:
+    def test_monotone_values_render_monotone_blocks(self):
+        rendered = sparkline([1, 2, 3])
+        assert rendered == "▁▅█"
+        assert len(rendered) == 3
+
+    def test_constant_series_renders_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_series_is_empty_string(self):
+        assert sparkline([]) == ""
+
+
+class TestCdfChart:
+    def test_chart_contains_legend_axis_and_markers(self):
+        chart = render_cdf_chart(
+            {"raft": [2000.0, 2400.0, 3100.0], "escape": [1700.0, 1800.0, 1900.0]},
+            width=40,
+            height=8,
+            title="election time CDF",
+        )
+        assert "election time CDF" in chart
+        assert "* raft" in chart and "o escape" in chart
+        assert "100%" in chart and "0%" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            render_cdf_chart({})
+        with pytest.raises(ConfigurationError):
+            render_cdf_chart({"x": []})
+        with pytest.raises(ConfigurationError):
+            render_cdf_chart({"x": [1.0]}, width=5, height=2)
+
+
+class TestGroupedBars:
+    def test_every_group_and_series_appears(self):
+        chart = render_grouped_bars(
+            groups=["s=8", "s=16"],
+            series={"raft": [2000.0, 2600.0], "escape": [1800.0, 1900.0]},
+            title="averages",
+        )
+        assert "s=8:" in chart and "s=16:" in chart
+        assert chart.count("raft") == 2 and chart.count("escape") == 2
+        assert "█" in chart
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            render_grouped_bars(groups=["a"], series={"x": [1.0, 2.0]})
+        with pytest.raises(ConfigurationError):
+            render_grouped_bars(groups=["a"], series={})
+
+
+class TestHistogram:
+    def test_bin_counts_sum_to_sample_size(self):
+        values = [float(v) for v in range(100)]
+        chart = render_histogram(values, bins=5)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in chart.splitlines()]
+        assert sum(counts) == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_histogram([])
+        with pytest.raises(ConfigurationError):
+            render_histogram([1.0], bins=0)
+
+
+def sample_measurement(total=2000.0, protocol="escape", converged=True):
+    return ElectionMeasurement(
+        protocol=protocol,
+        cluster_size=8,
+        seed=1,
+        converged=converged,
+        crash_time_ms=100.0,
+        detection_ms=total * 0.8,
+        election_ms=total * 0.2,
+        total_ms=total,
+        campaign_count=1,
+        split_vote=False,
+        winner_id=3 if converged else None,
+        winner_term=7 if converged else None,
+    )
+
+
+class TestCsvExport:
+    def test_round_trip_preserves_rows(self, tmp_path):
+        sets = {
+            "escape@8": MeasurementSet([sample_measurement(1900.0), sample_measurement(2000.0)]),
+            "raft@8": MeasurementSet([sample_measurement(2400.0, protocol="raft")]),
+        }
+        path = write_measurements_csv(tmp_path / "out" / "runs.csv", sets)
+        rows = read_measurements_csv(path)
+        assert len(rows) == 3
+        assert set(rows[0].keys()) == set(CSV_FIELDS)
+        assert {row["label"] for row in rows} == {"escape@8", "raft@8"}
+
+    def test_measurement_to_row_flattens_fields(self):
+        row = measurement_to_row(sample_measurement(), label="x")
+        assert row["label"] == "x"
+        assert row["total_ms"] == 2000.0
+        assert row["winner_id"] == 3
+
+    def test_reading_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_measurements_csv(tmp_path / "nope.csv")
+
+
+class TestJsonSummaryExport:
+    def test_summary_contains_aggregates_and_metadata(self, tmp_path):
+        sets = {
+            "escape@8": MeasurementSet(
+                [sample_measurement(1900.0), sample_measurement(2100.0)]
+            )
+        }
+        path = write_summary_json(
+            tmp_path / "summary.json", sets, metadata={"figure": "fig9", "runs": 2}
+        )
+        payload = read_summary_json(path)
+        assert payload["metadata"]["figure"] == "fig9"
+        cell = payload["cells"]["escape@8"]
+        assert cell["runs"] == 2
+        assert cell["mean_total_ms"] == pytest.approx(2000.0)
+        assert cell["convergence"] == 1.0
+        # The file itself is valid JSON on disk.
+        assert json.loads(path.read_text())["cells"]
+
+    def test_reading_missing_summary_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_summary_json(tmp_path / "missing.json")
