@@ -11,12 +11,16 @@ from __future__ import annotations
 from repro.experiments import ablation_k_sweep
 
 
-def test_ablation_k_sensitivity(benchmark, bench_runs, full_grids):
+def test_ablation_k_sensitivity(benchmark, bench_runs, full_grids, bench_workers):
     k_values = ablation_k_sweep.DEFAULT_K_VALUES if full_grids else (50.0, 200.0, 500.0, 1000.0)
 
     def run_sweep():
         return ablation_k_sweep.run(
-            runs=bench_runs, seed=6, cluster_size=16, k_values=k_values
+            runs=bench_runs,
+            seed=6,
+            cluster_size=16,
+            k_values=k_values,
+            workers=bench_workers,
         )
 
     result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

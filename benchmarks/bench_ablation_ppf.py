@@ -10,13 +10,17 @@ from __future__ import annotations
 from repro.experiments import ablation_ppf
 
 
-def test_ablation_ppf_contribution(benchmark, bench_runs, full_grids):
+def test_ablation_ppf_contribution(benchmark, bench_runs, full_grids, bench_workers):
     loss_rates = (0.0, 0.2, 0.4)
     cluster_size = 20 if not full_grids else 50
 
     def run_sweep():
         return ablation_ppf.run(
-            runs=bench_runs, seed=5, cluster_size=cluster_size, loss_rates=loss_rates
+            runs=bench_runs,
+            seed=5,
+            cluster_size=cluster_size,
+            loss_rates=loss_rates,
+            workers=bench_workers,
         )
 
     result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

@@ -28,6 +28,36 @@ def test_scheduler_throughput(benchmark):
     assert executed == 2_000
 
 
+def test_scheduler_cancel_churn_keeps_heap_bounded(benchmark):
+    """Heartbeat-style timer churn: cancel + re-arm must not grow the heap.
+
+    This is the hot path of every long election sweep; before heap compaction
+    the cancelled entries accumulated for the whole run.
+    """
+
+    def churn():
+        scheduler = EventScheduler()
+        state = {"timer": None, "beats": 0}
+
+        def heartbeat():
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            state["timer"] = scheduler.call_after(60_000.0, lambda: None)
+            state["beats"] += 1
+            if state["beats"] < 20_000:
+                scheduler.call_after(1.0, heartbeat)
+
+        scheduler.call_after(1.0, heartbeat)
+        scheduler.run_until(25_000.0)
+        return scheduler
+
+    scheduler = benchmark(churn)
+    benchmark.extra_info["final_heap_size"] = scheduler.heap_size
+    benchmark.extra_info["compactions"] = scheduler.compaction_count
+    assert scheduler.heap_size <= 128
+    assert scheduler.compaction_count > 0
+
+
 def test_log_append_and_merge_throughput(benchmark):
     def append_and_replay():
         log = ReplicatedLog()

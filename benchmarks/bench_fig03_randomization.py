@@ -3,15 +3,23 @@
 The timed region executes the full sweep (5-server Raft cluster, every timeout
 range of Section III); the resulting series is printed in the same layout the
 paper plots and key points are attached to the benchmark's ``extra_info``.
+
+A second benchmark runs the identical sweep sequentially and through the
+parallel engine, records the wall-clock speedup, and asserts the two paths
+return byte-identical measurements.
 """
 
 from __future__ import annotations
+
+import multiprocessing
+import os
+import time
 
 from repro.experiments import fig03_randomization
 from repro.metrics.stats import fraction_at_or_below
 
 
-def test_fig03_randomization_sweep(benchmark, bench_runs, full_grids):
+def test_fig03_randomization_sweep(benchmark, bench_runs, full_grids, bench_workers):
     ranges = (
         fig03_randomization.PAPER_TIMEOUT_RANGES
         if full_grids
@@ -20,7 +28,7 @@ def test_fig03_randomization_sweep(benchmark, bench_runs, full_grids):
 
     def run_sweep():
         return fig03_randomization.run(
-            runs=bench_runs, seed=0, timeout_ranges=ranges
+            runs=bench_runs, seed=0, timeout_ranges=ranges, workers=bench_workers
         )
 
     result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
@@ -39,3 +47,46 @@ def test_fig03_randomization_sweep(benchmark, bench_runs, full_grids):
     assert benchmark.extra_info["wide_over_3500ms"] <= benchmark.extra_info[
         "narrow_over_3500ms"
     ] + 0.2
+
+
+def test_fig03_parallel_sweep_speedup(benchmark, bench_runs):
+    """Same sweep, sequential vs parallel: identical results, less wall clock."""
+    ranges = fig03_randomization.PAPER_TIMEOUT_RANGES[:4]
+    workers = min(4, os.cpu_count() or 1)
+    runs = max(bench_runs, 10)
+
+    started = time.perf_counter()
+    sequential = fig03_randomization.run(
+        runs=runs, seed=0, timeout_ranges=ranges, workers=1
+    )
+    sequential_s = time.perf_counter() - started
+
+    def run_parallel():
+        return fig03_randomization.run(
+            runs=runs, seed=0, timeout_ranges=ranges, workers=workers
+        )
+
+    parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.mean
+
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["sequential_s"] = round(sequential_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(sequential_s / parallel_s, 2)
+    print(
+        f"\nsequential {sequential_s:.2f}s vs parallel({workers}) {parallel_s:.2f}s "
+        f"-> speedup {sequential_s / parallel_s:.2f}x"
+    )
+
+    # Determinism is a hard guarantee; speedup is hardware-dependent, so it
+    # is only asserted loosely (parallel must not collapse), and only where
+    # compute can dominate pool start-up: multiple CPUs and cheap fork
+    # workers (spawn pays a per-worker interpreter boot that swamps a
+    # 10-run sweep).
+    for timeout_range in ranges:
+        assert (
+            parallel.measurements_for(timeout_range).measurements
+            == sequential.measurements_for(timeout_range).measurements
+        )
+    if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+        assert parallel_s < sequential_s * 1.2

@@ -9,7 +9,7 @@ from __future__ import annotations
 from repro.experiments import fig04_randomization_average
 
 
-def test_fig04_average_vs_randomness(benchmark, bench_runs, full_grids):
+def test_fig04_average_vs_randomness(benchmark, bench_runs, full_grids, bench_workers):
     ranges = (
         fig04_randomization_average.PAPER_TIMEOUT_RANGES
         if full_grids
@@ -18,7 +18,7 @@ def test_fig04_average_vs_randomness(benchmark, bench_runs, full_grids):
 
     def run_sweep():
         return fig04_randomization_average.run(
-            runs=bench_runs, seed=1, timeout_ranges=ranges
+            runs=bench_runs, seed=1, timeout_ranges=ranges, workers=bench_workers
         )
 
     result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

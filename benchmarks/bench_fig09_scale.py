@@ -9,11 +9,13 @@ from __future__ import annotations
 from repro.experiments import fig09_scale
 
 
-def test_fig09_scale_sweep(benchmark, bench_runs, full_grids):
+def test_fig09_scale_sweep(benchmark, bench_runs, full_grids, bench_workers):
     sizes = fig09_scale.PAPER_SIZES if full_grids else (8, 16, 32)
 
     def run_sweep():
-        return fig09_scale.run(runs=bench_runs, seed=2, sizes=sizes)
+        return fig09_scale.run(
+            runs=bench_runs, seed=2, sizes=sizes, workers=bench_workers
+        )
 
     result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     print()

@@ -9,13 +9,13 @@ from __future__ import annotations
 from repro.experiments import fig10_competing_candidates
 
 
-def test_fig10_competing_candidate_phases(benchmark, bench_runs, full_grids):
+def test_fig10_competing_candidate_phases(benchmark, bench_runs, full_grids, bench_workers):
     sizes = fig10_competing_candidates.PAPER_SIZES if full_grids else (8, 16)
     phases = fig10_competing_candidates.PAPER_PHASES
 
     def run_sweep():
         return fig10_competing_candidates.run(
-            runs=bench_runs, seed=3, sizes=sizes, phases=phases
+            runs=bench_runs, seed=3, sizes=sizes, phases=phases, workers=bench_workers
         )
 
     result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

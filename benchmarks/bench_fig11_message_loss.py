@@ -10,13 +10,13 @@ from __future__ import annotations
 from repro.experiments import fig11_message_loss
 
 
-def test_fig11_message_loss_sweep(benchmark, bench_runs, full_grids):
+def test_fig11_message_loss_sweep(benchmark, bench_runs, full_grids, bench_workers):
     sizes = fig11_message_loss.PAPER_SIZES if full_grids else (10, 20)
     loss_rates = fig11_message_loss.PAPER_LOSS_RATES
 
     def run_sweep():
         return fig11_message_loss.run(
-            runs=bench_runs, seed=4, sizes=sizes, loss_rates=loss_rates
+            runs=bench_runs, seed=4, sizes=sizes, loss_rates=loss_rates, workers=bench_workers
         )
 
     result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

@@ -5,9 +5,11 @@ budget (fewer runs / smaller cluster-size grid than the paper's 1000-run
 sweeps) so the whole suite stays laptop-friendly.  The knobs below can be
 raised through environment variables for a full-fidelity reproduction:
 
-* ``REPRO_BENCH_RUNS``  -- independent runs per data point (default 10)
-* ``REPRO_BENCH_FULL``  -- set to ``1`` to use the paper's full cluster-size
+* ``REPRO_BENCH_RUNS``    -- independent runs per data point (default 10)
+* ``REPRO_BENCH_FULL``    -- set to ``1`` to use the paper's full cluster-size
   and parameter grids instead of the reduced ones.
+* ``REPRO_BENCH_WORKERS`` -- worker processes for the sweep engine (default 1;
+  ``0`` uses one worker per CPU).  Results are seed-identical at any count.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import pytest
 
 DEFAULT_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10"))
 FULL_GRIDS = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+DEFAULT_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +33,9 @@ def bench_runs() -> int:
 def full_grids() -> bool:
     """Whether to sweep the paper's full parameter grids."""
     return FULL_GRIDS
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int | None:
+    """Sweep-engine worker count (``None`` means one per CPU)."""
+    return None if DEFAULT_WORKERS == 0 else DEFAULT_WORKERS

@@ -66,3 +66,14 @@ class ClusterError(ReproError):
     Examples: crashing a node that is already crashed, or asking for the
     leader of a cluster that never elected one within the allowed time.
     """
+
+
+class SweepError(ReproError):
+    """A run inside an experiment sweep failed.
+
+    Raised by the sweep execution engine when one ``(scenario label, run
+    index)`` work item raises, with the failing label and index in the
+    message so a 10,000-run sweep pinpoints its bad episode.  Worker-process
+    failures are re-raised in the parent as this type because the original
+    traceback cannot cross the process boundary intact.
+    """

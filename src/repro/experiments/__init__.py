@@ -10,6 +10,11 @@ Every module exposes:
   sweeps can be reproduced with ``python -m repro.experiments <name> --runs
   1000``.
 
+All sweeps execute through the parallel engine in
+:mod:`repro.experiments.runner`: pass ``workers=N`` to any ``run(...)`` (or
+``--workers N`` on the CLI) to fan the episodes out over N processes with
+bit-for-bit identical results.
+
 Index (see DESIGN.md §3 for the full mapping):
 
 ==========================================  =========================================

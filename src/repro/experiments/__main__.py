@@ -3,8 +3,12 @@
 Usage::
 
     python -m repro.experiments fig9 --runs 200 --seed 1
-    python -m repro.experiments fig11 --runs 1000          # paper-scale sweep
-    python -m repro.experiments all --runs 20               # quick smoke pass
+    python -m repro.experiments fig11 --runs 1000 --workers 0   # paper-scale sweep
+    python -m repro.experiments all --runs 20                   # quick smoke pass
+
+``--workers N`` fans the episodes of a sweep out over N processes
+(``--workers 0`` uses every CPU); results are bit-for-bit identical to a
+sequential run with the same seed.
 
 Every experiment prints the same rows/series the corresponding paper figure
 plots; see EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -29,73 +33,89 @@ from repro.experiments import (
 )
 from repro.experiments.base import print_progress
 
-ExperimentRunner = Callable[[int, int, bool], str]
+ExperimentRunner = Callable[[int, int, bool, "int | None"], str]
 
 
-def _run_fig3(runs: int, seed: int, quick: bool) -> str:
+def _run_fig3(runs: int, seed: int, quick: bool, workers: int | None) -> str:
     result = fig03_randomization.run(
-        runs=runs, seed=seed, progress=print_progress if not quick else None
+        runs=runs,
+        seed=seed,
+        progress=print_progress if not quick else None,
+        workers=workers,
     )
     return fig03_randomization.report(result)
 
 
-def _run_fig4(runs: int, seed: int, quick: bool) -> str:
+def _run_fig4(runs: int, seed: int, quick: bool, workers: int | None) -> str:
     result = fig04_randomization_average.run(
-        runs=runs, seed=seed, progress=print_progress if not quick else None
+        runs=runs,
+        seed=seed,
+        progress=print_progress if not quick else None,
+        workers=workers,
     )
     return fig04_randomization_average.report(result)
 
 
-def _run_fig9(runs: int, seed: int, quick: bool) -> str:
+def _run_fig9(runs: int, seed: int, quick: bool, workers: int | None) -> str:
     sizes = (8, 16, 32) if quick else fig09_scale.PAPER_SIZES
     result = fig09_scale.run(
         runs=runs,
         seed=seed,
         sizes=sizes,
         progress=print_progress if not quick else None,
+        workers=workers,
     )
     return fig09_scale.report(result)
 
 
-def _run_fig10(runs: int, seed: int, quick: bool) -> str:
+def _run_fig10(runs: int, seed: int, quick: bool, workers: int | None) -> str:
     sizes = (8, 16) if quick else fig10_competing_candidates.PAPER_SIZES
     result = fig10_competing_candidates.run(
         runs=runs,
         seed=seed,
         sizes=sizes,
         progress=print_progress if not quick else None,
+        workers=workers,
     )
     return fig10_competing_candidates.report(result)
 
 
-def _run_fig11(runs: int, seed: int, quick: bool) -> str:
+def _run_fig11(runs: int, seed: int, quick: bool, workers: int | None) -> str:
     sizes = (10,) if quick else fig11_message_loss.PAPER_SIZES
     result = fig11_message_loss.run(
         runs=runs,
         seed=seed,
         sizes=sizes,
         progress=print_progress if not quick else None,
+        workers=workers,
     )
     return fig11_message_loss.report(result)
 
 
-def _run_ablation_ppf(runs: int, seed: int, quick: bool) -> str:
+def _run_ablation_ppf(runs: int, seed: int, quick: bool, workers: int | None) -> str:
     result = ablation_ppf.run(
-        runs=runs, seed=seed, progress=print_progress if not quick else None
+        runs=runs,
+        seed=seed,
+        progress=print_progress if not quick else None,
+        workers=workers,
     )
     return ablation_ppf.report(result)
 
 
-def _run_ablation_k(runs: int, seed: int, quick: bool) -> str:
+def _run_ablation_k(runs: int, seed: int, quick: bool, workers: int | None) -> str:
     result = ablation_k_sweep.run(
-        runs=runs, seed=seed, progress=print_progress if not quick else None
+        runs=runs,
+        seed=seed,
+        progress=print_progress if not quick else None,
+        workers=workers,
     )
     return ablation_k_sweep.report(result)
 
 
-def _run_adapter_redis(runs: int, seed: int, quick: bool) -> str:
+def _run_adapter_redis(runs: int, seed: int, quick: bool, workers: int | None) -> str:
     # The adapter model is cheap; scale the run count up so the collision
-    # rates are stable even in quick mode.
+    # rates are stable even in quick mode.  It finishes in milliseconds, so
+    # it ignores --workers rather than paying pool start-up for nothing.
     result = adapter_redis.run(runs=max(runs, 50), seed=seed)
     return adapter_redis.report(result)
 
@@ -110,6 +130,15 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "ablation-k": _run_ablation_k,
     "adapter-redis": _run_adapter_redis,
 }
+
+
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 0 (0 means one per CPU), got {count}"
+        )
+    return count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,6 +160,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help=(
+            "worker processes for the sweep engine (0 = one per CPU); "
+            "results are identical for every worker count"
+        ),
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="restrict the sweep to small cluster sizes for a fast smoke pass",
@@ -142,10 +180,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.experiments``."""
     args = build_parser().parse_args(argv)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    workers = None if args.workers == 0 else args.workers
     for name in names:
         started = time.perf_counter()
-        print(f"== {name} (runs={args.runs}, seed={args.seed}) ==", flush=True)
-        report = EXPERIMENTS[name](args.runs, args.seed, args.quick)
+        print(
+            f"== {name} (runs={args.runs}, seed={args.seed}, "
+            f"workers={args.workers or 'auto'}) ==",
+            flush=True,
+        )
+        report = EXPERIMENTS[name](args.runs, args.seed, args.quick, workers)
         elapsed = time.perf_counter() - started
         print(report)
         print(f"-- completed in {elapsed:.1f} s\n", flush=True)

@@ -70,10 +70,13 @@ def run(
     cluster_size: int = DEFAULT_SIZE,
     k_values: Sequence[float] = DEFAULT_K_VALUES,
     progress: ProgressCallback | None = None,
+    workers: int | None = 1,
 ) -> KSweepResult:
-    """Execute the ``k`` sensitivity sweep."""
+    """Execute the ``k`` sensitivity sweep (optionally over *workers*)."""
     scenarios = build_scenarios(cluster_size, k_values)
-    by_label = run_scenario_set(scenarios, runs=runs, seed=seed, progress=progress)
+    by_label = run_scenario_set(
+        scenarios, runs=runs, seed=seed, progress=progress, workers=workers
+    )
     return KSweepResult(
         cluster_size=cluster_size,
         k_values=tuple(k_values),

@@ -74,10 +74,13 @@ def run(
     cluster_size: int = DEFAULT_SIZE,
     loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
     progress: ProgressCallback | None = None,
+    workers: int | None = 1,
 ) -> PpfAblationResult:
-    """Execute the PPF ablation sweep."""
+    """Execute the PPF ablation sweep (optionally fanned out over *workers*)."""
     scenarios = build_scenarios(cluster_size, loss_rates)
-    by_label = run_scenario_set(scenarios, runs=runs, seed=seed, progress=progress)
+    by_label = run_scenario_set(
+        scenarios, runs=runs, seed=seed, progress=progress, workers=workers
+    )
     return PpfAblationResult(
         cluster_size=cluster_size,
         loss_rates=tuple(loss_rates),

@@ -17,32 +17,39 @@ def run_scenario_set(
     runs: int,
     seed: int = 0,
     progress: ProgressCallback | None = None,
+    workers: int | None = 1,
 ) -> dict[str, MeasurementSet]:
     """Run every scenario *runs* times and collect the measurements.
 
-    Seeds are derived per ``(scenario label, run index)``, so adding a new
-    scenario to the sweep never changes the seeds of existing ones, and two
-    protocols compared under the same label suffix observe paired randomness.
+    Seeds are derived per ``(scenario label, run index)`` via
+    :func:`paired_seeds`, so adding a new scenario to the sweep never changes
+    the seeds of existing ones, and two protocols compared under the same
+    label suffix observe paired randomness.
+
+    Execution is delegated to the sweep engine in
+    :mod:`repro.experiments.runner`: ``workers=1`` runs in-process exactly
+    like the historical sequential loop, ``workers > 1`` fans the episodes
+    out over a process pool with bit-for-bit identical results, and
+    ``workers=None`` uses one worker per CPU.
     """
-    results: dict[str, MeasurementSet] = {}
-    root = SeedSequence(seed)
-    for label, scenario in scenarios.items():
-        measurements = MeasurementSet(label=label)
-        for index in range(runs):
-            run_seed = root.stream("experiment", label, index).getrandbits(32)
-            measurements.add(scenario.run(run_seed))
-            if progress is not None:
-                progress(label, index + 1, runs)
-        results[label] = measurements
-    return results
+    from repro.experiments.runner import run_sweep
+
+    return run_sweep(scenarios, runs=runs, seed=seed, progress=progress, workers=workers)
+
+
+def derive_run_seed(seed: int, label: str, index: int) -> int:
+    """The seed of run *index* of the scenario labelled *label*.
+
+    This is the single source of truth for sweep seed derivation --
+    :func:`paired_seeds` (and through it :func:`run_scenario_set` and the
+    parallel engine) all call it, so the paired A/B design cannot drift.
+    """
+    return SeedSequence(seed).stream("experiment", label, index).getrandbits(32)
 
 
 def paired_seeds(runs: int, seed: int, label: str) -> list[int]:
     """Derive the per-run seeds for one scenario label (for paired designs)."""
-    root = SeedSequence(seed)
-    return [
-        root.stream("experiment", label, index).getrandbits(32) for index in range(runs)
-    ]
+    return [derive_run_seed(seed, label, index) for index in range(runs)]
 
 
 @dataclass(frozen=True)

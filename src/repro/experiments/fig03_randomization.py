@@ -80,10 +80,13 @@ def run(
     timeout_ranges: Sequence[tuple[Milliseconds, Milliseconds]] = PAPER_TIMEOUT_RANGES,
     cluster_size: int = CLUSTER_SIZE,
     progress: ProgressCallback | None = None,
+    workers: int | None = 1,
 ) -> RandomizationResult:
-    """Execute the Figure 3 sweep."""
+    """Execute the Figure 3 sweep (optionally fanned out over *workers*)."""
     scenarios = build_scenarios(timeout_ranges, cluster_size)
-    by_range = run_scenario_set(scenarios, runs=runs, seed=seed, progress=progress)
+    by_range = run_scenario_set(
+        scenarios, runs=runs, seed=seed, progress=progress, workers=workers
+    )
     return RandomizationResult(
         timeout_ranges=tuple(timeout_ranges), runs=runs, by_range=by_range
     )

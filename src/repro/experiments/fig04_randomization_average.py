@@ -66,10 +66,17 @@ def run(
     seed: int = 0,
     timeout_ranges: Sequence[tuple[Milliseconds, Milliseconds]] = PAPER_TIMEOUT_RANGES,
     progress: ProgressCallback | None = None,
+    workers: int | None = 1,
 ) -> RandomizationAverageResult:
     """Execute the sweep and reduce it to the Figure 4 averages."""
     return from_fig03(
-        run_fig03(runs=runs, seed=seed, timeout_ranges=timeout_ranges, progress=progress)
+        run_fig03(
+            runs=runs,
+            seed=seed,
+            timeout_ranges=timeout_ranges,
+            progress=progress,
+            workers=workers,
+        )
     )
 
 

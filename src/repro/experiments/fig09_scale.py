@@ -79,10 +79,13 @@ def run(
     sizes: Sequence[int] = PAPER_SIZES,
     protocols: Sequence[str] = PROTOCOLS,
     progress: ProgressCallback | None = None,
+    workers: int | None = 1,
 ) -> ScaleResult:
-    """Execute the Figure 9 sweep."""
+    """Execute the Figure 9 sweep (optionally fanned out over *workers*)."""
     scenarios = build_scenarios(sizes, protocols)
-    by_label = run_scenario_set(scenarios, runs=runs, seed=seed, progress=progress)
+    by_label = run_scenario_set(
+        scenarios, runs=runs, seed=seed, progress=progress, workers=workers
+    )
     return ScaleResult(sizes=tuple(sizes), runs=runs, by_label=by_label)
 
 

@@ -100,10 +100,13 @@ def run(
     phases: Sequence[int] = PAPER_PHASES,
     protocols: Sequence[str] = PROTOCOLS,
     progress: ProgressCallback | None = None,
+    workers: int | None = 1,
 ) -> CompetingCandidatesResult:
-    """Execute the Figure 10 sweep."""
+    """Execute the Figure 10 sweep (optionally fanned out over *workers*)."""
     scenarios = build_scenarios(sizes, phases, protocols)
-    by_label = run_scenario_set(scenarios, runs=runs, seed=seed, progress=progress)
+    by_label = run_scenario_set(
+        scenarios, runs=runs, seed=seed, progress=progress, workers=workers
+    )
     return CompetingCandidatesResult(
         sizes=tuple(sizes), phases=tuple(phases), runs=runs, by_label=by_label
     )

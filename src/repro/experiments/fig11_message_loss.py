@@ -94,10 +94,13 @@ def run(
     loss_rates: Sequence[float] = PAPER_LOSS_RATES,
     protocols: Sequence[str] = PROTOCOLS,
     progress: ProgressCallback | None = None,
+    workers: int | None = 1,
 ) -> MessageLossResult:
-    """Execute the Figure 11 sweep."""
+    """Execute the Figure 11 sweep (optionally fanned out over *workers*)."""
     scenarios = build_scenarios(sizes, loss_rates, protocols)
-    by_label = run_scenario_set(scenarios, runs=runs, seed=seed, progress=progress)
+    by_label = run_scenario_set(
+        scenarios, runs=runs, seed=seed, progress=progress, workers=workers
+    )
     return MessageLossResult(
         sizes=tuple(sizes),
         loss_rates=tuple(loss_rates),

@@ -1,0 +1,188 @@
+"""Parallel sweep execution engine for the experiment modules.
+
+Every figure of the paper is reproduced by running thousands of independent
+leader-election episodes.  Each episode is a pure function of
+``(scenario, seed)`` (see :mod:`repro.common.rng`), so the sweep fans out
+perfectly: this module splits a scenario mapping into ``(label, run index)``
+work items, executes them across a :mod:`multiprocessing` pool, and streams
+the per-run :class:`~repro.metrics.records.ElectionMeasurement`\\ s back to the
+parent for aggregation into :class:`~repro.metrics.records.MeasurementSet`\\ s.
+
+Determinism is preserved bit-for-bit: seeds are derived by exactly the same
+per-``(label, index)`` scheme as the sequential path (one shared helper,
+:func:`repro.experiments.base.paired_seeds`), workers never share random
+state, and results are re-assembled in ``(label, index)`` order regardless of
+completion order.  ``run_sweep(..., workers=4)`` therefore returns the same
+measurement sets as ``workers=1``, which a regression test pins.
+
+``workers=1`` (the default) and platforms without a usable ``fork``/``spawn``
+pool fall through to an in-process loop that shares the same work-item and
+aggregation code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.common.errors import SweepError
+from repro.experiments.base import ProgressCallback, paired_seeds
+from repro.metrics.records import ElectionMeasurement, MeasurementSet
+
+__all__ = ["SweepItem", "build_work_items", "resolve_workers", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepItem:
+    """One unit of sweep work: a single seeded episode of one scenario."""
+
+    label: str
+    index: int
+    seed: int
+    scenario: ElectionScenario
+
+
+def build_work_items(
+    scenarios: Mapping[str, ElectionScenario], runs: int, seed: int
+) -> list[SweepItem]:
+    """Expand a scenario mapping into per-``(label, index)`` work items.
+
+    Seed derivation delegates to :func:`repro.experiments.base.paired_seeds`
+    so the parallel engine and the paired A/B helpers can never drift apart.
+    """
+    items: list[SweepItem] = []
+    for label, scenario in scenarios.items():
+        for index, run_seed in enumerate(paired_seeds(runs, seed, label)):
+            items.append(SweepItem(label, index, run_seed, scenario))
+    return items
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request (``None`` means one per CPU)."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise SweepError(f"workers must be >= 1 (or None for auto), got {workers}")
+    return workers
+
+
+def _execute_item(
+    item: SweepItem,
+) -> tuple[str, int, ElectionMeasurement | None, str | None]:
+    """Run one work item; exceptions come back as strings (pool-safe)."""
+    try:
+        return item.label, item.index, item.scenario.run(item.seed), None
+    except Exception as exc:  # noqa: BLE001 - re-raised as SweepError in parent
+        return item.label, item.index, None, f"{type(exc).__name__}: {exc}"
+
+
+def _pool_context() -> multiprocessing.context.BaseContext | None:
+    """The process-pool context to use, or ``None`` to stay in-process.
+
+    ``fork`` is preferred (cheap start-up, no re-import); ``spawn`` keeps
+    macOS/Windows working.  Platforms offering neither run sequentially.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None
+
+
+class _SweepAccounting:
+    """Collects streamed results and drives the progress callback.
+
+    Results may arrive in any order from the pool; they are slotted by
+    ``(label, index)`` so the final measurement sets are order-independent,
+    while progress is reported as monotonically increasing per-label counts.
+    """
+
+    def __init__(
+        self,
+        scenarios: Mapping[str, ElectionScenario],
+        runs: int,
+        progress: ProgressCallback | None,
+    ) -> None:
+        self._runs = runs
+        self._progress = progress
+        self._slots: dict[str, list[ElectionMeasurement | None]] = {
+            label: [None] * runs for label in scenarios
+        }
+        self._done: dict[str, int] = {label: 0 for label in scenarios}
+
+    def record(
+        self,
+        label: str,
+        index: int,
+        measurement: ElectionMeasurement | None,
+        error: str | None,
+    ) -> None:
+        if error is not None:
+            raise SweepError(f"scenario {label!r} run {index} failed: {error}")
+        self._slots[label][index] = measurement
+        self._done[label] += 1
+        if self._progress is not None:
+            self._progress(label, self._done[label], self._runs)
+
+    def results(self) -> dict[str, MeasurementSet]:
+        sets: dict[str, MeasurementSet] = {}
+        for label, slots in self._slots.items():
+            missing = [index for index, slot in enumerate(slots) if slot is None]
+            if missing:
+                raise SweepError(
+                    f"scenario {label!r} lost runs {missing}; "
+                    "a worker probably died without reporting"
+                )
+            sets[label] = MeasurementSet(slots, label=label)
+        return sets
+
+
+def _chunk_size(item_count: int, workers: int) -> int:
+    """Pool chunk size: enough chunks per worker to balance uneven episodes."""
+    return max(1, item_count // (workers * 8))
+
+
+def run_sweep(
+    scenarios: Mapping[str, ElectionScenario],
+    runs: int,
+    seed: int = 0,
+    progress: ProgressCallback | None = None,
+    workers: int | None = 1,
+) -> dict[str, MeasurementSet]:
+    """Run every scenario *runs* times, fanned out over *workers* processes.
+
+    Args:
+        scenarios: label -> scenario mapping (label order is preserved in the
+            result, matching the sequential path).
+        runs: independent episodes per scenario.
+        seed: root seed for the per-``(label, index)`` derivation.
+        progress: optional callback invoked as ``progress(label, done,
+            runs)`` each time one episode of *label* finishes.  Per-label
+            counts are monotonic; interleaving across labels is
+            completion-ordered when ``workers > 1``.
+        workers: process count; ``1`` runs in-process, ``None`` uses one
+            worker per CPU.
+
+    Returns:
+        One :class:`MeasurementSet` per scenario label, with measurements in
+        run-index order -- identical contents for every worker count.
+    """
+    workers = resolve_workers(workers)
+    items = build_work_items(scenarios, runs, seed)
+    accounting = _SweepAccounting(scenarios, runs, progress)
+    context = _pool_context() if workers > 1 and len(items) > 1 else None
+
+    if context is None:
+        for item in items:
+            accounting.record(*_execute_item(item))
+        return accounting.results()
+
+    with context.Pool(processes=min(workers, len(items))) as pool:
+        for outcome in pool.imap_unordered(
+            _execute_item, items, chunksize=_chunk_size(len(items), workers)
+        ):
+            accounting.record(*outcome)
+    return accounting.results()

@@ -35,7 +35,11 @@ def percentile(values: Sequence[float], q: float) -> float:
         raise ClusterError("cannot take a percentile of an empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ClusterError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
+    return _percentile_sorted(sorted(values), q)
+
+
+def _percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` over an already-sorted, non-empty sequence."""
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)
@@ -70,20 +74,31 @@ class SummaryStatistics:
 
 
 def summarize(values: Sequence[float]) -> SummaryStatistics:
-    """Compute :class:`SummaryStatistics` for *values*."""
+    """Compute :class:`SummaryStatistics` for *values*.
+
+    The sample is sorted once and every order statistic (median, tail
+    percentiles, min, max) reads from that one sorted copy.  ``std_dev`` is
+    the *sample* standard deviation (the unbiased n-1 estimator): the runs
+    being summarized are a sample of the election-time distribution, not the
+    whole population.  A single-element sample has ``std_dev == 0.0``.
+    """
     if not values:
         raise ClusterError("cannot summarize an empty sequence")
-    n = len(values)
-    mean = sum(values) / n
-    variance = sum((value - mean) ** 2 for value in values) / n
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    if n > 1:
+        variance = sum((value - mean) ** 2 for value in ordered) / (n - 1)
+    else:
+        variance = 0.0
     return SummaryStatistics(
         count=n,
         mean=mean,
-        median=percentile(values, 50.0),
-        p95=percentile(values, 95.0),
-        p99=percentile(values, 99.0),
-        minimum=min(values),
-        maximum=max(values),
+        median=_percentile_sorted(ordered, 50.0),
+        p95=_percentile_sorted(ordered, 95.0),
+        p99=_percentile_sorted(ordered, 99.0),
+        minimum=ordered[0],
+        maximum=ordered[-1],
         std_dev=math.sqrt(variance),
     )
 

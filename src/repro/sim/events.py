@@ -23,6 +23,10 @@ class ScheduledEvent:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Whether the entry is still inside the scheduler's heap.  The scheduler
+    #: clears this on pop so cancellation accounting never counts an event
+    #: twice (e.g. a callback cancelling its own already-popped handle).
+    in_heap: bool = field(compare=False, default=True)
 
 
 class EventHandle:
@@ -33,10 +37,15 @@ class EventHandle:
     cancel OS timers.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_on_cancel")
 
-    def __init__(self, event: ScheduledEvent) -> None:
+    def __init__(
+        self,
+        event: ScheduledEvent,
+        on_cancel: Callable[[ScheduledEvent], None] | None = None,
+    ) -> None:
         self._event = event
+        self._on_cancel = on_cancel
 
     @property
     def time_ms(self) -> Milliseconds:
@@ -55,7 +64,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel(self._event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

@@ -4,6 +4,17 @@ The scheduler owns a :class:`~repro.sim.clock.VirtualClock` and a binary heap
 of :class:`~repro.sim.events.ScheduledEvent` entries.  Execution is strictly
 ordered by ``(time, insertion sequence)``; cancelled events are skipped lazily
 when they reach the head of the heap.
+
+Cancellation is O(1) but leaves the entry in the heap.  Workloads that
+re-arm timers constantly (election timeouts reset on every heartbeat) would
+grow the heap without bound if cancelled entries were *only* dropped at the
+head, so the scheduler keeps an exact count of cancelled-but-queued entries
+and compacts the heap -- filter plus ``heapify`` -- whenever they outnumber
+the live ones.  Compaction never reorders execution: entries are totally
+ordered by ``(time, sequence)``, so rebuilding the heap from the surviving
+entries pops them in exactly the same order as the lazy path would have.
+The same counter makes :attr:`EventScheduler.pending_count` O(1) instead of
+a full heap scan.
 """
 
 from __future__ import annotations
@@ -27,18 +38,26 @@ class EventScheduler:
             will ever execute.  Runaway simulations (for example a node
             rescheduling a zero-delay timer forever) raise
             :class:`SimulationError` instead of hanging the test suite.
+        compact_min_size: heaps smaller than this are never compacted, so
+            tiny simulations do not pay rebuild churn.  Above it, the heap is
+            compacted as soon as cancelled entries outnumber live ones, which
+            bounds the heap at ~2x the live event count.
     """
 
     def __init__(
         self,
         clock: VirtualClock | None = None,
         max_events: int = 10_000_000,
+        compact_min_size: int = 64,
     ) -> None:
         self._clock = clock if clock is not None else VirtualClock()
         self._heap: list[ScheduledEvent] = []
         self._sequence = 0
         self._executed = 0
         self._max_events = max_events
+        self._compact_min_size = compact_min_size
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     @property
     def clock(self) -> VirtualClock:
@@ -51,8 +70,18 @@ class EventScheduler:
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap entries, including cancelled ones awaiting removal."""
+        return len(self._heap)
+
+    @property
+    def compaction_count(self) -> int:
+        """How many times the heap has been compacted (observability)."""
+        return self._compactions
 
     @property
     def executed_count(self) -> int:
@@ -78,7 +107,7 @@ class EventScheduler:
         )
         self._sequence += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, on_cancel=self._note_cancelled)
 
     def call_after(
         self, delay_ms: Milliseconds, callback: Callable[[], None], label: str = ""
@@ -99,7 +128,9 @@ class EventScheduler:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.in_heap = False
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._check_budget()
             self._clock.advance_to(event.time_ms)
@@ -166,8 +197,34 @@ class EventScheduler:
     def _next_pending(self) -> ScheduledEvent | None:
         """Return (without removing) the earliest non-cancelled event."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            discarded = heapq.heappop(self._heap)
+            discarded.in_heap = False
+            self._cancelled_in_heap -= 1
         return self._heap[0] if self._heap else None
+
+    def _note_cancelled(self, event: ScheduledEvent) -> None:
+        """Account for a cancellation and compact the heap when it pays off."""
+        if not event.in_heap:
+            return
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self._compact_min_size
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and rebuild the heap in place."""
+        survivors = []
+        for event in self._heap:
+            if event.cancelled:
+                event.in_heap = False
+            else:
+                survivors.append(event)
+        self._heap = survivors
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
 
     def _check_budget(self) -> None:
         if self._executed >= self._max_events:

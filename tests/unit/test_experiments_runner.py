@@ -1,0 +1,165 @@
+"""Unit tests for the parallel sweep execution engine.
+
+The engine's contract is strict: for a fixed seed, every worker count must
+produce *identical* measurement sets (same values, same order), because the
+figure-level results of the paper reproduction may never depend on how the
+sweep was scheduled across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.common.errors import SweepError
+from repro.common.rng import SeedSequence
+from repro.experiments.base import derive_run_seed, paired_seeds, run_scenario_set
+from repro.experiments.runner import (
+    SweepItem,
+    build_work_items,
+    resolve_workers,
+    run_sweep,
+)
+
+SCENARIOS = {
+    "escape-small": ElectionScenario(protocol="escape", cluster_size=3),
+    "raft-small": ElectionScenario(protocol="raft", cluster_size=3),
+}
+
+
+@dataclass(frozen=True)
+class _ExplodingScenario:
+    """Stand-in scenario whose run always raises (module-level: picklable)."""
+
+    def run(self, seed: int):
+        raise ValueError(f"boom for seed {seed}")
+
+
+class TestSeedDerivation:
+    def test_paired_seeds_delegate_to_derive_run_seed(self):
+        assert paired_seeds(4, seed=7, label="x") == [
+            derive_run_seed(7, "x", index) for index in range(4)
+        ]
+
+    def test_derived_seeds_are_pinned(self):
+        """Golden values: a drift here silently unpairs every A/B comparison.
+
+        The constants were produced by the original inline derivation
+        ``SeedSequence(seed).stream("experiment", label, index)`` and are
+        platform-stable (SHA-256 based, not ``hash()``).
+        """
+        assert paired_seeds(3, seed=0, label="a") == [
+            1569524556,
+            3306680920,
+            3135187838,
+        ]
+        assert paired_seeds(2, seed=42, label="raft@8") == [1347041454, 509708467]
+        # The scheme matches the named-stream tree exactly.
+        assert derive_run_seed(0, "a", 0) == SeedSequence(0).stream(
+            "experiment", "a", 0
+        ).getrandbits(32)
+        assert len({derive_run_seed(0, "a", i) for i in range(100)}) == 100
+
+    def test_work_items_carry_the_paired_seeds(self):
+        items = build_work_items(SCENARIOS, runs=3, seed=5)
+        assert len(items) == 6
+        by_label: dict[str, list[SweepItem]] = {}
+        for item in items:
+            by_label.setdefault(item.label, []).append(item)
+        for label, label_items in by_label.items():
+            assert [item.seed for item in label_items] == paired_seeds(3, 5, label)
+            assert [item.index for item in label_items] == [0, 1, 2]
+
+    def test_measurements_record_the_derived_seed(self):
+        results = run_scenario_set(SCENARIOS, runs=2, seed=9)
+        for label, measurement_set in results.items():
+            assert [m.seed for m in measurement_set] == paired_seeds(2, 9, label)
+
+
+class TestDeterminism:
+    def test_parallel_equals_sequential(self):
+        sequential = run_sweep(SCENARIOS, runs=3, seed=1, workers=1)
+        parallel = run_sweep(SCENARIOS, runs=3, seed=1, workers=4)
+        assert set(sequential) == set(parallel)
+        for label in sequential:
+            assert sequential[label].measurements == parallel[label].measurements
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_sweep_is_invariant(self, workers):
+        baseline = run_sweep(SCENARIOS, runs=2, seed=3, workers=1)
+        results = run_sweep(SCENARIOS, runs=2, seed=3, workers=workers)
+        for label in baseline:
+            assert results[label].measurements == baseline[label].measurements
+
+    def test_label_order_matches_input_order(self):
+        results = run_sweep(SCENARIOS, runs=1, seed=0, workers=2)
+        assert list(results) == list(SCENARIOS)
+
+
+class TestProgress:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_progress_delivered_once_per_completed_run(self, workers):
+        calls: list[tuple[str, int, int]] = []
+        run_sweep(
+            SCENARIOS,
+            runs=3,
+            seed=0,
+            progress=lambda label, done, total: calls.append((label, done, total)),
+            workers=workers,
+        )
+        for label in SCENARIOS:
+            label_calls = [call for call in calls if call[0] == label]
+            # Monotonic per-label counts 1..runs, each delivered exactly once.
+            assert label_calls == [(label, done, 3) for done in (1, 2, 3)]
+
+    def test_sequential_progress_interleaving_is_preserved(self):
+        calls: list[tuple[str, int, int]] = []
+        run_scenario_set(
+            {"only": ElectionScenario(protocol="escape", cluster_size=3)},
+            runs=2,
+            seed=0,
+            progress=lambda label, done, total: calls.append((label, done, total)),
+        )
+        assert calls == [("only", 1, 2), ("only", 2, 2)]
+
+
+class TestErrorPropagation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_scenario_failure_raises_sweep_error_with_context(self, workers):
+        scenarios = {"bad": _ExplodingScenario()}
+        with pytest.raises(SweepError, match=r"'bad' run \d.*ValueError.*boom"):
+            run_sweep(scenarios, runs=2, seed=0, workers=workers)
+
+    def test_failure_in_one_label_of_a_mixed_sweep(self):
+        scenarios = {
+            "good": ElectionScenario(protocol="escape", cluster_size=3),
+            "bad": _ExplodingScenario(),
+        }
+        with pytest.raises(SweepError, match="bad"):
+            run_sweep(scenarios, runs=1, seed=0, workers=2)
+
+
+class TestWorkerResolution:
+    def test_workers_none_means_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_worker_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(SweepError):
+            resolve_workers(0)
+        with pytest.raises(SweepError):
+            resolve_workers(-2)
+
+    def test_more_workers_than_items_is_fine(self):
+        results = run_sweep(
+            {"only": ElectionScenario(protocol="raft", cluster_size=3)},
+            runs=2,
+            seed=0,
+            workers=16,
+        )
+        assert len(results["only"]) == 2

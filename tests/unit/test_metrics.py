@@ -122,8 +122,28 @@ class TestStats:
         assert summary.mean == 250.0
         assert summary.minimum == 100.0
         assert summary.maximum == 400.0
-        assert summary.std_dev == pytest.approx(111.80, rel=1e-3)
+        # Sample (n-1) standard deviation: sqrt(50000 / 3).
+        assert summary.std_dev == pytest.approx(129.10, rel=1e-3)
         assert "mean=250.0ms" in summary.describe()
+
+    def test_summarize_uses_sample_std_dev(self):
+        import statistics
+
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        assert summarize(values).std_dev == pytest.approx(statistics.stdev(values))
+
+    def test_summarize_single_value_has_zero_std_dev(self):
+        summary = summarize([42.0])
+        assert summary.std_dev == 0.0
+        assert summary.median == 42.0
+        assert summary.p99 == 42.0
+
+    def test_summarize_percentiles_match_unsorted_percentile_calls(self):
+        values = [9.0, 1.0, 7.0, 3.0, 5.0, 8.0, 2.0]
+        summary = summarize(values)
+        assert summary.median == percentile(values, 50.0)
+        assert summary.p95 == percentile(values, 95.0)
+        assert summary.p99 == percentile(values, 99.0)
 
     def test_summarize_empty_rejected(self):
         with pytest.raises(ClusterError):

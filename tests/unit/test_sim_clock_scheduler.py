@@ -136,6 +136,108 @@ class TestSchedulerRunModes:
         assert EventScheduler().step() is False
 
 
+class TestSchedulerCompaction:
+    def test_heap_stays_bounded_under_reschedule_churn(self):
+        """The cancelled-event leak: re-arming a timer must not grow the heap.
+
+        This is exactly the election-timer pattern -- every heartbeat cancels
+        the previous timeout and schedules a new one.  Before compaction the
+        heap held every cancelled entry until its (far-future) deadline
+        reached the head, i.e. it grew linearly with simulated time.
+        """
+        scheduler = EventScheduler()
+        state = {"timer": None, "beats": 0}
+
+        def heartbeat():
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            # Far-future timeout: the lazy head-pop alone would never reach it.
+            state["timer"] = scheduler.call_after(10_000.0, lambda: None)
+            state["beats"] += 1
+            if state["beats"] < 5_000:
+                scheduler.call_after(1.0, heartbeat)
+
+        scheduler.call_after(1.0, heartbeat)
+        scheduler.run_until(6_000.0)
+        assert state["beats"] == 5_000
+        # One live timeout + one live heartbeat chain entry at most, and the
+        # heap never retains more than ~2x the live entries after compaction.
+        assert scheduler.pending_count <= 2
+        assert scheduler.heap_size <= 128
+        assert scheduler.compaction_count > 0
+
+    def test_small_heaps_are_not_compacted(self):
+        scheduler = EventScheduler(compact_min_size=64)
+        handles = [scheduler.call_after(10.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert scheduler.compaction_count == 0
+        assert scheduler.pending_count == 0
+
+    def test_pending_count_is_exact_through_compaction(self):
+        scheduler = EventScheduler(compact_min_size=8)
+        keep = [scheduler.call_after(float(i + 1), lambda: None) for i in range(50)]
+        drop = [scheduler.call_after(float(i + 100), lambda: None) for i in range(51)]
+        for handle in drop:
+            handle.cancel()
+        # Cancelled entries (51) outnumber live ones (50) -> compacted.
+        assert scheduler.compaction_count >= 1
+        assert scheduler.pending_count == 50
+        assert scheduler.heap_size == 50
+        for handle in keep[:20]:
+            handle.cancel()
+        assert scheduler.pending_count == 30
+
+    def test_compaction_preserves_execution_order(self):
+        """Same schedule-and-cancel pattern, compacting vs not: same order."""
+
+        def run(compact_min_size):
+            scheduler = EventScheduler(compact_min_size=compact_min_size)
+            order = []
+            handles = []
+            for index in range(200):
+                handles.append(
+                    scheduler.call_after(
+                        float(index % 17) + 1.0,
+                        lambda index=index: order.append(index),
+                    )
+                )
+            for index, handle in enumerate(handles):
+                if index % 3 != 0:
+                    handle.cancel()
+            scheduler.run_until_idle()
+            return order
+
+        assert run(compact_min_size=8) == run(compact_min_size=10**9)
+
+    def test_cancelling_an_executed_event_does_not_corrupt_accounting(self):
+        scheduler = EventScheduler()
+        handles = []
+
+        def fire():
+            pass
+
+        for _ in range(5):
+            handles.append(scheduler.call_after(1.0, fire))
+        scheduler.run_until_idle()
+        for handle in handles:
+            handle.cancel()  # cancelling after execution must be a no-op
+        assert scheduler.pending_count == 0
+        assert scheduler.heap_size == 0
+
+    def test_callback_cancelling_itself_is_harmless(self):
+        scheduler = EventScheduler()
+        state = {}
+
+        def fire():
+            state["handle"].cancel()
+
+        state["handle"] = scheduler.call_after(1.0, fire)
+        scheduler.call_after(2.0, lambda: None)
+        scheduler.run_until_idle()
+        assert scheduler.pending_count == 0
+
+
 class TestSchedulerSafety:
     def test_cannot_schedule_in_the_past(self):
         scheduler = EventScheduler()
