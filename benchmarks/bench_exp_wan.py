@@ -1,0 +1,54 @@
+"""Benchmark: the WAN experiment (catalog conditions, three protocols).
+
+Runs the region-split sweep of :mod:`repro.experiments.exp_wan` -- the
+Section II-B geo-distributed setting the paper describes but never measures --
+and prints the per-condition averages.  With ``REPRO_BENCH_FULL=1`` the grid
+expands to every catalog condition, exercising the whole scenario catalog
+through the parallel sweep engine.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.catalog import condition_names
+from repro.experiments import exp_wan
+
+
+def test_wan_catalog_sweep(benchmark, bench_runs, full_grids, bench_workers):
+    conditions = condition_names() if full_grids else exp_wan.WAN_CONDITIONS
+    cluster_size = exp_wan.DEFAULT_CLUSTER_SIZE if full_grids else 6
+
+    def run_sweep():
+        return exp_wan.run(
+            runs=bench_runs,
+            seed=11,
+            conditions=conditions,
+            cluster_size=cluster_size,
+            workers=bench_workers,
+        )
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(exp_wan.report(result))
+
+    for condition in conditions:
+        benchmark.extra_info[f"escape_reduction_{condition}"] = round(
+            result.reduction_vs_raft("escape", condition), 2
+        )
+
+    # Every episode converged, and -- aggregated over the conditions, with
+    # one stray episode of slack so a reduced-run sample cannot fail by
+    # chance -- ESCAPE splits votes no more often than Raft: under WAN
+    # splits, split votes are exactly what ESCAPE's priority-driven
+    # elections are designed to avoid (Section II-B).
+    for condition in conditions:
+        for protocol in exp_wan.PROTOCOLS:
+            measurements = result.measurements_for(protocol, condition)
+            assert all(m.converged for m in measurements)
+    raft_splits = sum(
+        result.split_vote_fraction_for("raft", condition) for condition in conditions
+    )
+    escape_splits = sum(
+        result.split_vote_fraction_for("escape", condition)
+        for condition in conditions
+    )
+    assert escape_splits <= raft_splits + 1.0 / bench_runs

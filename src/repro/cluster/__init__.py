@@ -11,10 +11,21 @@ The harness is what the experiment modules (and the examples) drive:
   :class:`~repro.metrics.records.ElectionMeasurement` records;
 * :mod:`repro.cluster.scenarios` packages the paper's fault scenarios (leader
   crash, forced contention, broadcast message loss) into one reusable
-  :class:`~repro.cluster.scenarios.ElectionScenario`.
+  :class:`~repro.cluster.scenarios.ElectionScenario`;
+* :mod:`repro.cluster.catalog` names ready-made network conditions (WAN
+  splits, heavy tails, loss, duplication, chaos) as declarative specs any
+  scenario can run under.
 """
 
 from repro.cluster.builder import SimulatedCluster, build_cluster
+from repro.cluster.catalog import (
+    CATALOG,
+    NetworkCondition,
+    catalog_scenarios,
+    condition_names,
+    get_condition,
+    scenario_for,
+)
 from repro.cluster.environment import SimNodeEnvironment
 from repro.cluster.harness import ElectionHarness
 from repro.cluster.observers import ElectionObserver
@@ -22,11 +33,17 @@ from repro.cluster.scenarios import ElectionScenario
 from repro.cluster.workload import ClientWorkload
 
 __all__ = [
+    "CATALOG",
     "ClientWorkload",
     "ElectionHarness",
     "ElectionObserver",
     "ElectionScenario",
+    "NetworkCondition",
     "SimNodeEnvironment",
     "SimulatedCluster",
     "build_cluster",
+    "catalog_scenarios",
+    "condition_names",
+    "get_condition",
+    "scenario_for",
 ]

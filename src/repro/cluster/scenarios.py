@@ -16,13 +16,14 @@ from repro.cluster.builder import SimulatedCluster, build_cluster
 from repro.cluster.harness import ElectionHarness
 from repro.cluster.observers import ElectionObserver
 from repro.cluster.workload import ClientWorkload
-from repro.common.config import ProtocolConfig, RaftTimeoutConfig, ScaParameters
+from repro.common.config import ClusterConfig, ProtocolConfig, RaftTimeoutConfig, ScaParameters
 from repro.common.errors import ConfigurationError
-from repro.common.rng import SeedSequence
+from repro.common.rng import SeedSequence, paired_seeds
 from repro.common.types import Milliseconds, ServerId
 from repro.metrics.records import ElectionMeasurement
 from repro.net.faults import BroadcastOmissionFault, FaultInjector, NoFault
 from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.specs import FaultSpec, LatencySpec
 from repro.raft.timers import (
     ElectionTimeoutPolicy,
     RandomizedTimeoutPolicy,
@@ -44,8 +45,19 @@ class ElectionScenario:
         sca: ESCAPE/Z-Raft SCA parameters (baseTime/k of Eq. 1).
         heartbeat_interval_ms: leader heartbeat period.
         latency_range: one-way message latency ``(low_ms, high_ms)``.
+            Shorthand for ``latency=UniformLatencySpec(low_ms, high_ms)``;
+            ignored when an explicit ``latency`` spec is given.
         loss_rate: broadcast message-loss rate Δ (Section VI-D); 0 disables
-            fault injection.
+            fault injection.  Shorthand for
+            ``fault=BroadcastOmissionSpec(loss_rate)``; may not be combined
+            with an explicit ``fault`` spec.
+        latency: declarative latency condition (any
+            :class:`~repro.net.specs.LatencySpec`), resolved against the
+            cluster membership at build time.  Takes precedence over
+            ``latency_range``.
+        fault: declarative fault condition (any
+            :class:`~repro.net.specs.FaultSpec`).  Mutually exclusive with
+            the ``loss_rate`` shorthand.
         contention_phases: number of competing-candidate phases to force
             (Figure 10); 0 leaves timeouts entirely protocol-driven.
         workload_interval_ms: client proposal period during the pre-crash
@@ -64,6 +76,8 @@ class ElectionScenario:
     heartbeat_interval_ms: Milliseconds = 150.0
     latency_range: tuple[Milliseconds, Milliseconds] = (100.0, 200.0)
     loss_rate: float = 0.0
+    latency: LatencySpec | None = None
+    fault: FaultSpec | None = None
     contention_phases: int = 0
     workload_interval_ms: Milliseconds = 0.0
     pre_crash_ms: Milliseconds = 2_000.0
@@ -82,12 +96,29 @@ class ElectionScenario:
             sca=self.sca,
         )
 
+    def server_ids(self) -> tuple[ServerId, ...]:
+        """The membership the scenario's network specs resolve against."""
+        return ClusterConfig.of_size(self.cluster_size).server_ids
+
     def latency_model(self) -> LatencyModel:
-        """The latency model this scenario implies."""
+        """The latency model this scenario implies.
+
+        An explicit :class:`~repro.net.specs.LatencySpec` wins; otherwise the
+        ``latency_range`` shorthand resolves to the paper's uniform model.
+        """
+        if self.latency is not None:
+            return self.latency.resolve(self.server_ids())
         return UniformLatency(*self.latency_range)
 
     def fault_injector(self) -> FaultInjector:
         """The fault injector this scenario implies."""
+        if self.fault is not None:
+            if self.loss_rate > 0.0:
+                raise ConfigurationError(
+                    "give either an explicit fault spec or the loss_rate "
+                    "shorthand, not both"
+                )
+            return self.fault.resolve(self.server_ids())
         if self.loss_rate <= 0.0:
             return NoFault()
         return BroadcastOmissionFault(self.loss_rate)
@@ -159,15 +190,26 @@ class ElectionScenario:
                 "workload_proposed": workload.proposed if workload else 0,
             }
         )
+        # Spec-driven network conditions would otherwise be invisible here
+        # (loss_rate stays 0.0 for them); record the specs' reprs so
+        # downstream reports can still re-group by condition.
+        if self.latency is not None:
+            measurement.extra["latency_spec"] = repr(self.latency)
+        if self.fault is not None:
+            measurement.extra["fault_spec"] = repr(self.fault)
         return measurement
 
-    def run_many(self, runs: int, base_seed: int = 0) -> list[ElectionMeasurement]:
-        """Run *runs* independent episodes with derived seeds."""
-        seeds = SeedSequence(base_seed)
-        return [
-            self.run(seeds.stream("run", index).getrandbits(32))
-            for index in range(runs)
-        ]
+    def run_many(
+        self, runs: int, base_seed: int = 0, label: str = "run"
+    ) -> list[ElectionMeasurement]:
+        """Run *runs* independent episodes with derived seeds.
+
+        Seeds delegate to :func:`repro.common.rng.paired_seeds` -- the same
+        single source of truth the sweep engine uses -- so
+        ``run_many(runs, seed, label)`` observes exactly the seeds a
+        ``run_sweep({label: scenario}, runs, seed)`` sweep would.
+        """
+        return [self.run(seed) for seed in paired_seeds(runs, base_seed, label)]
 
     # ------------------------------------------------------------------ #
     # Forced contention (Figure 10)

@@ -18,7 +18,7 @@ import hashlib
 import random
 from typing import Iterable
 
-__all__ = ["SeedSequence", "derive_seed"]
+__all__ = ["SeedSequence", "derive_run_seed", "derive_seed", "paired_seeds"]
 
 
 def derive_seed(root_seed: int, *names: object) -> int:
@@ -95,3 +95,21 @@ class SeedSequence:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         path = "/".join(str(part) for part in self._path)
         return f"SeedSequence(root={self._root_seed}, path={path!r})"
+
+
+def derive_run_seed(seed: int, label: str, index: int) -> int:
+    """The seed of run *index* of the scenario labelled *label*.
+
+    This is the single source of truth for sweep seed derivation: the
+    experiment helpers (:func:`repro.experiments.base.paired_seeds`, and
+    through them :func:`~repro.experiments.base.run_scenario_set` and the
+    parallel engine) and :meth:`repro.cluster.scenarios.ElectionScenario.run_many`
+    all call it, so the paired A/B design cannot drift no matter which entry
+    point ran the episodes.
+    """
+    return SeedSequence(seed).stream("experiment", label, index).getrandbits(32)
+
+
+def paired_seeds(runs: int, seed: int, label: str) -> list[int]:
+    """Derive the per-run seeds for one scenario label (for paired designs)."""
+    return [derive_run_seed(seed, label, index) for index in range(runs)]

@@ -27,13 +27,18 @@ Module                                      Paper artefact
 :mod:`repro.experiments.fig11_message_loss`         Figure 11 (message loss, 3 protocols)
 :mod:`repro.experiments.ablation_ppf`               Ablation: SCA without PPF under churn
 :mod:`repro.experiments.ablation_k_sweep`           Ablation: Eq. 1 priority gap ``k``
+:mod:`repro.experiments.exp_wan`                    WAN region splits (Section II-B scenario)
 ==========================================  =========================================
+
+The WAN experiment additionally accepts any named network condition from
+:mod:`repro.cluster.catalog` (CLI: ``--scenario NAME``).
 """
 
 from repro.experiments import (
     ablation_k_sweep,
     ablation_ppf,
     adapter_redis,
+    exp_wan,
     fig03_randomization,
     fig04_randomization_average,
     fig09_scale,
@@ -45,6 +50,7 @@ __all__ = [
     "ablation_k_sweep",
     "ablation_ppf",
     "adapter_redis",
+    "exp_wan",
     "fig03_randomization",
     "fig04_randomization_average",
     "fig09_scale",

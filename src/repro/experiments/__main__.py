@@ -4,11 +4,14 @@ Usage::
 
     python -m repro.experiments fig9 --runs 200 --seed 1
     python -m repro.experiments fig11 --runs 1000 --workers 0   # paper-scale sweep
+    python -m repro.experiments wan --scenario chaos-composite  # catalog condition
     python -m repro.experiments all --runs 20                   # quick smoke pass
 
 ``--workers N`` fans the episodes of a sweep out over N processes
 (``--workers 0`` uses every CPU); results are bit-for-bit identical to a
-sequential run with the same seed.
+sequential run with the same seed.  ``--scenario NAME`` (experiments that
+support it: ``wan``) selects a single named network condition from
+:mod:`repro.cluster.catalog` instead of the experiment's default grid.
 
 Every experiment prints the same rows/series the corresponding paper figure
 plots; see EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -19,12 +22,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.cluster.catalog import condition_names
 from repro.experiments import (
     ablation_k_sweep,
     ablation_ppf,
     adapter_redis,
+    exp_wan,
     fig03_randomization,
     fig04_randomization_average,
     fig09_scale,
@@ -33,91 +39,124 @@ from repro.experiments import (
 )
 from repro.experiments.base import print_progress
 
-ExperimentRunner = Callable[[int, int, bool, "int | None"], str]
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One CLI invocation's sweep parameters, as passed to every runner."""
+
+    runs: int
+    seed: int
+    quick: bool
+    workers: int | None
+    scenario: str | None = None
+
+    @property
+    def progress(self):
+        """The progress callback the request implies (quiet in quick mode)."""
+        return print_progress if not self.quick else None
 
 
-def _run_fig3(runs: int, seed: int, quick: bool, workers: int | None) -> str:
+ExperimentRunner = Callable[[RunRequest], str]
+
+
+def _run_fig3(request: RunRequest) -> str:
     result = fig03_randomization.run(
-        runs=runs,
-        seed=seed,
-        progress=print_progress if not quick else None,
-        workers=workers,
+        runs=request.runs,
+        seed=request.seed,
+        progress=request.progress,
+        workers=request.workers,
     )
     return fig03_randomization.report(result)
 
 
-def _run_fig4(runs: int, seed: int, quick: bool, workers: int | None) -> str:
+def _run_fig4(request: RunRequest) -> str:
     result = fig04_randomization_average.run(
-        runs=runs,
-        seed=seed,
-        progress=print_progress if not quick else None,
-        workers=workers,
+        runs=request.runs,
+        seed=request.seed,
+        progress=request.progress,
+        workers=request.workers,
     )
     return fig04_randomization_average.report(result)
 
 
-def _run_fig9(runs: int, seed: int, quick: bool, workers: int | None) -> str:
-    sizes = (8, 16, 32) if quick else fig09_scale.PAPER_SIZES
+def _run_fig9(request: RunRequest) -> str:
+    sizes = (8, 16, 32) if request.quick else fig09_scale.PAPER_SIZES
     result = fig09_scale.run(
-        runs=runs,
-        seed=seed,
+        runs=request.runs,
+        seed=request.seed,
         sizes=sizes,
-        progress=print_progress if not quick else None,
-        workers=workers,
+        progress=request.progress,
+        workers=request.workers,
     )
     return fig09_scale.report(result)
 
 
-def _run_fig10(runs: int, seed: int, quick: bool, workers: int | None) -> str:
-    sizes = (8, 16) if quick else fig10_competing_candidates.PAPER_SIZES
+def _run_fig10(request: RunRequest) -> str:
+    sizes = (8, 16) if request.quick else fig10_competing_candidates.PAPER_SIZES
     result = fig10_competing_candidates.run(
-        runs=runs,
-        seed=seed,
+        runs=request.runs,
+        seed=request.seed,
         sizes=sizes,
-        progress=print_progress if not quick else None,
-        workers=workers,
+        progress=request.progress,
+        workers=request.workers,
     )
     return fig10_competing_candidates.report(result)
 
 
-def _run_fig11(runs: int, seed: int, quick: bool, workers: int | None) -> str:
-    sizes = (10,) if quick else fig11_message_loss.PAPER_SIZES
+def _run_fig11(request: RunRequest) -> str:
+    sizes = (10,) if request.quick else fig11_message_loss.PAPER_SIZES
     result = fig11_message_loss.run(
-        runs=runs,
-        seed=seed,
+        runs=request.runs,
+        seed=request.seed,
         sizes=sizes,
-        progress=print_progress if not quick else None,
-        workers=workers,
+        progress=request.progress,
+        workers=request.workers,
     )
     return fig11_message_loss.report(result)
 
 
-def _run_ablation_ppf(runs: int, seed: int, quick: bool, workers: int | None) -> str:
+def _run_ablation_ppf(request: RunRequest) -> str:
     result = ablation_ppf.run(
-        runs=runs,
-        seed=seed,
-        progress=print_progress if not quick else None,
-        workers=workers,
+        runs=request.runs,
+        seed=request.seed,
+        progress=request.progress,
+        workers=request.workers,
     )
     return ablation_ppf.report(result)
 
 
-def _run_ablation_k(runs: int, seed: int, quick: bool, workers: int | None) -> str:
+def _run_ablation_k(request: RunRequest) -> str:
     result = ablation_k_sweep.run(
-        runs=runs,
-        seed=seed,
-        progress=print_progress if not quick else None,
-        workers=workers,
+        runs=request.runs,
+        seed=request.seed,
+        progress=request.progress,
+        workers=request.workers,
     )
     return ablation_k_sweep.report(result)
 
 
-def _run_adapter_redis(runs: int, seed: int, quick: bool, workers: int | None) -> str:
+def _run_adapter_redis(request: RunRequest) -> str:
     # The adapter model is cheap; scale the run count up so the collision
     # rates are stable even in quick mode.  It finishes in milliseconds, so
     # it ignores --workers rather than paying pool start-up for nothing.
-    result = adapter_redis.run(runs=max(runs, 50), seed=seed)
+    result = adapter_redis.run(runs=max(request.runs, 50), seed=request.seed)
     return adapter_redis.report(result)
+
+
+def _run_wan(request: RunRequest) -> str:
+    conditions = (
+        (request.scenario,) if request.scenario else exp_wan.WAN_CONDITIONS
+    )
+    cluster_size = 6 if request.quick else exp_wan.DEFAULT_CLUSTER_SIZE
+    result = exp_wan.run(
+        runs=request.runs,
+        seed=request.seed,
+        conditions=conditions,
+        cluster_size=cluster_size,
+        progress=request.progress,
+        workers=request.workers,
+    )
+    return exp_wan.report(result)
 
 
 EXPERIMENTS: dict[str, ExperimentRunner] = {
@@ -126,10 +165,14 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "fig9": _run_fig9,
     "fig10": _run_fig10,
     "fig11": _run_fig11,
+    "wan": _run_wan,
     "ablation-ppf": _run_ablation_ppf,
     "ablation-k": _run_ablation_k,
     "adapter-redis": _run_adapter_redis,
 }
+
+#: Experiments that understand the ``--scenario`` catalog-condition override.
+SCENARIO_AWARE: frozenset[str] = frozenset({"wan"})
 
 
 def _worker_count(value: str) -> int:
@@ -173,22 +216,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="restrict the sweep to small cluster sizes for a fast smoke pass",
     )
+    parser.add_argument(
+        "--scenario",
+        choices=condition_names(),
+        default=None,
+        help=(
+            "run under a single named network condition from the scenario "
+            f"catalog (supported by: {', '.join(sorted(SCENARIO_AWARE))})"
+        ),
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.experiments``."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    workers = None if args.workers == 0 else args.workers
+    if args.scenario is not None:
+        unsupported = [name for name in names if name not in SCENARIO_AWARE]
+        if unsupported:
+            parser.error(
+                f"--scenario is not supported by: {', '.join(unsupported)} "
+                f"(supported: {', '.join(sorted(SCENARIO_AWARE))})"
+            )
+    request = RunRequest(
+        runs=args.runs,
+        seed=args.seed,
+        quick=args.quick,
+        workers=None if args.workers == 0 else args.workers,
+        scenario=args.scenario,
+    )
     for name in names:
         started = time.perf_counter()
+        scenario_note = f", scenario={args.scenario}" if args.scenario else ""
         print(
             f"== {name} (runs={args.runs}, seed={args.seed}, "
-            f"workers={args.workers or 'auto'}) ==",
+            f"workers={args.workers or 'auto'}{scenario_note}) ==",
             flush=True,
         )
-        report = EXPERIMENTS[name](args.runs, args.seed, args.quick, workers)
+        report = EXPERIMENTS[name](request)
         elapsed = time.perf_counter() - started
         print(report)
         print(f"-- completed in {elapsed:.1f} s\n", flush=True)

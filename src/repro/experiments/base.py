@@ -6,8 +6,18 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from repro.cluster.scenarios import ElectionScenario
-from repro.common.rng import SeedSequence
+from repro.common.rng import derive_run_seed, paired_seeds
 from repro.metrics.records import ElectionMeasurement, MeasurementSet
+
+__all__ = [
+    "ProgressCallback",
+    "SeriesResult",
+    "derive_run_seed",
+    "flatten_sets",
+    "paired_seeds",
+    "print_progress",
+    "run_scenario_set",
+]
 
 ProgressCallback = Callable[[str, int, int], None]
 
@@ -35,21 +45,6 @@ def run_scenario_set(
     from repro.experiments.runner import run_sweep
 
     return run_sweep(scenarios, runs=runs, seed=seed, progress=progress, workers=workers)
-
-
-def derive_run_seed(seed: int, label: str, index: int) -> int:
-    """The seed of run *index* of the scenario labelled *label*.
-
-    This is the single source of truth for sweep seed derivation --
-    :func:`paired_seeds` (and through it :func:`run_scenario_set` and the
-    parallel engine) all call it, so the paired A/B design cannot drift.
-    """
-    return SeedSequence(seed).stream("experiment", label, index).getrandbits(32)
-
-
-def paired_seeds(runs: int, seed: int, label: str) -> list[int]:
-    """Derive the per-run seeds for one scenario label (for paired designs)."""
-    return [derive_run_seed(seed, label, index) for index in range(runs)]
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -82,11 +83,14 @@ def _execute_item(
 def _pool_context() -> multiprocessing.context.BaseContext | None:
     """The process-pool context to use, or ``None`` to stay in-process.
 
-    ``fork`` is preferred (cheap start-up, no re-import); ``spawn`` keeps
-    macOS/Windows working.  Platforms offering neither run sequentially.
+    ``fork`` is preferred where it is safe (cheap start-up, no re-import);
+    on macOS ``fork`` is unsafe once system frameworks are loaded (CPython
+    switched the platform default to ``spawn`` for that reason), so there
+    ``spawn`` comes first.  Platforms offering neither run sequentially.
     """
+    preferred = ("spawn", "fork") if sys.platform == "darwin" else ("fork", "spawn")
     methods = multiprocessing.get_all_start_methods()
-    for method in ("fork", "spawn"):
+    for method in preferred:
         if method in methods:
             return multiprocessing.get_context(method)
     return None
@@ -176,8 +180,18 @@ def run_sweep(
     context = _pool_context() if workers > 1 and len(items) > 1 else None
 
     if context is None:
+        # In-process there is no pickling boundary, so keep the original
+        # exception chained (`from exc`) instead of stringifying it -- the
+        # failing frame's traceback survives into the SweepError.
         for item in items:
-            accounting.record(*_execute_item(item))
+            try:
+                measurement = item.scenario.run(item.seed)
+            except Exception as exc:
+                raise SweepError(
+                    f"scenario {item.label!r} run {item.index} failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            accounting.record(item.label, item.index, measurement, None)
         return accounting.results()
 
     with context.Pool(processes=min(workers, len(items))) as pool:

@@ -163,7 +163,12 @@ class MessageDuplicationFault:
 
 @dataclass(frozen=True)
 class CompositeFault:
-    """Union of several fault injectors: a message is dropped if any says so."""
+    """Union of several fault injectors: a message is dropped if any says so.
+
+    Duplication requests are forwarded as well: a message is delivered twice
+    if any wrapped injector exposing ``should_duplicate`` asks for it, so
+    :class:`MessageDuplicationFault` keeps working inside a composite.
+    """
 
     injectors: tuple[FaultInjector, ...] = ()
 
@@ -177,3 +182,11 @@ class CompositeFault:
         for injector in self.injectors:
             omitted.update(injector.omitted_broadcast_targets(rng, src, targets))
         return frozenset(omitted)
+
+    def should_duplicate(self, rng: random.Random, src: ServerId, dst: ServerId) -> bool:
+        """Whether any wrapped injector wants this message delivered twice."""
+        for injector in self.injectors:
+            duplicator = getattr(injector, "should_duplicate", None)
+            if duplicator is not None and duplicator(rng, src, dst):
+                return True
+        return False

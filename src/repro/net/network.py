@@ -164,9 +164,13 @@ class SimulatedNetwork:
         Args:
             src: sending server.
             targets: destination servers (normally every peer of *src*).
-            payload_factory: called once per reached target to build that
-                target's payload.  Leaders use this to piggyback per-follower
-                data (log entries, ESCAPE configurations) on one broadcast.
+            payload_factory: called once per target to build that target's
+                payload -- including targets the fault model omits or that a
+                disconnected sender never reaches, whose payloads are counted
+                as sent but not put in flight.  Leaders use this to piggyback
+                per-follower data (log entries, ESCAPE configurations) on one
+                broadcast; factories must therefore be pure reads of node
+                state.
 
         Returns:
             The envelopes actually put in flight.
@@ -174,7 +178,12 @@ class SimulatedNetwork:
         self._require_member(src)
         self.stats.broadcast_count += 1
         if src in self._disconnected:
-            self.stats.dropped_disconnected += len(targets)
+            # Mirror the unicast path: every attempted message is counted as
+            # sent *and* dropped, keeping ``sent == delivered + dropped +
+            # in-flight`` intact (the payload factory is pure; see send()).
+            for dst in targets:
+                self.stats.record_sent(payload_factory(dst))
+                self.stats.dropped_disconnected += 1
             return []
         omitted = self._fault.omitted_broadcast_targets(
             self._fault_rng, src, list(targets)

@@ -1,0 +1,290 @@
+"""Declarative, picklable specifications for latency and fault conditions.
+
+The :mod:`repro.net.latency` and :mod:`repro.net.faults` models are the
+*mechanisms* of the simulated network; this module provides the matching
+*descriptions*.  A spec is a frozen dataclass that captures one network
+condition independently of any concrete cluster -- "two regions, 5-15 ms
+inside, 150-250 ms across" rather than a server-by-server region map -- and
+``resolve(server_ids)`` turns it into the corresponding runtime model for a
+given membership.
+
+Two properties make specs the unit the scenario layer stores and ships
+around:
+
+* **Picklable.**  Every spec is a frozen module-level dataclass with only
+  plain values (floats, strings, tuples of specs), so a scenario carrying
+  specs round-trips through the :mod:`multiprocessing` pool used by
+  :func:`repro.experiments.runner.run_sweep` without losing anything.
+* **Cluster-size independent.**  The same spec resolves against 5 or 500
+  servers, which is what lets one catalog entry parameterise every
+  experiment sweep (see :mod:`repro.cluster.catalog`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Milliseconds, ServerId
+from repro.common.validation import (
+    require_fraction,
+    require_non_negative,
+    require_ordered_pair,
+    require_positive,
+)
+from repro.net.faults import (
+    BroadcastOmissionFault,
+    CompositeFault,
+    FaultInjector,
+    LinkFault,
+    MessageDuplicationFault,
+    NoFault,
+    PacketLossFault,
+)
+from repro.net.latency import (
+    ConstantLatency,
+    GeoGroupLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+
+__all__ = [
+    "LatencySpec",
+    "UniformLatencySpec",
+    "ConstantLatencySpec",
+    "LogNormalLatencySpec",
+    "GeoLatencySpec",
+    "FaultSpec",
+    "NoFaultSpec",
+    "BroadcastOmissionSpec",
+    "PacketLossSpec",
+    "LinkFaultSpec",
+    "DuplicationSpec",
+    "CompositeFaultSpec",
+    "assign_regions",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Latency specs
+# --------------------------------------------------------------------------- #
+class LatencySpec:
+    """Base class for declarative latency conditions.
+
+    Subclasses are frozen dataclasses; ``resolve(server_ids)`` returns the
+    :class:`~repro.net.latency.LatencyModel` the spec describes for the given
+    membership.
+    """
+
+    def resolve(
+        self, server_ids: Sequence[ServerId]
+    ) -> LatencyModel:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformLatencySpec(LatencySpec):
+    """Uniform one-way latency in ``[low_ms, high_ms]`` (the paper's NetEm)."""
+
+    low_ms: Milliseconds = 100.0
+    high_ms: Milliseconds = 200.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.low_ms, "low_ms")
+        require_ordered_pair(self.low_ms, self.high_ms, "latency range")
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> LatencyModel:
+        return UniformLatency(self.low_ms, self.high_ms)
+
+
+@dataclass(frozen=True)
+class ConstantLatencySpec(LatencySpec):
+    """Every message takes exactly *latency_ms*."""
+
+    latency_ms: Milliseconds = 100.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.latency_ms, "latency_ms")
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> LatencyModel:
+        return ConstantLatency(self.latency_ms)
+
+
+@dataclass(frozen=True)
+class LogNormalLatencySpec(LatencySpec):
+    """Heavy-tailed latency (median/sigma), capped at *max_ms*."""
+
+    median_ms: Milliseconds = 150.0
+    sigma: float = 0.3
+    max_ms: Milliseconds = 5_000.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.median_ms, "median_ms")
+        require_positive(self.sigma, "sigma")
+        require_positive(self.max_ms, "max_ms")
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> LatencyModel:
+        return LogNormalLatency(self.median_ms, self.sigma, self.max_ms)
+
+
+def assign_regions(
+    server_ids: Sequence[ServerId], region_count: int
+) -> dict[ServerId, str]:
+    """Split *server_ids* into *region_count* contiguous, balanced regions.
+
+    The first ``n % region_count`` regions receive one extra server, so e.g.
+    7 servers over 3 regions become blocks of 3/2/2.  Contiguous blocks (not
+    round-robin) mirror how real deployments are provisioned: S1-S3 in one
+    data centre, S4-S5 in the next.
+    """
+    require_positive(region_count, "region_count")
+    if region_count > len(server_ids):
+        raise ConfigurationError(
+            f"region_count ({region_count}) exceeds the cluster size "
+            f"({len(server_ids)})"
+        )
+    base, extra = divmod(len(server_ids), region_count)
+    regions: dict[ServerId, str] = {}
+    cursor = 0
+    for index in range(region_count):
+        size = base + (1 if index < extra else 0)
+        for server_id in server_ids[cursor : cursor + size]:
+            regions[server_id] = f"region-{index}"
+        cursor += size
+    return regions
+
+
+@dataclass(frozen=True)
+class GeoLatencySpec(LatencySpec):
+    """Two-tier geo latency over *region_count* balanced regions.
+
+    Resolution assigns the membership to contiguous regions via
+    :func:`assign_regions` and builds a
+    :class:`~repro.net.latency.GeoGroupLatency`; the spec itself never names
+    concrete servers, so it applies to any cluster size (Section II-B's
+    "low in-group, high between-group" setting).
+    """
+
+    region_count: int = 2
+    intra_ms: tuple[Milliseconds, Milliseconds] = (5.0, 15.0)
+    inter_ms: tuple[Milliseconds, Milliseconds] = (100.0, 200.0)
+
+    def __post_init__(self) -> None:
+        require_positive(self.region_count, "region_count")
+        require_non_negative(self.intra_ms[0], "intra_ms low")
+        require_non_negative(self.inter_ms[0], "inter_ms low")
+        require_ordered_pair(self.intra_ms[0], self.intra_ms[1], "intra_ms")
+        require_ordered_pair(self.inter_ms[0], self.inter_ms[1], "inter_ms")
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> LatencyModel:
+        return GeoGroupLatency(
+            regions=assign_regions(server_ids, self.region_count),
+            intra_ms=self.intra_ms,
+            inter_ms=self.inter_ms,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Fault specs
+# --------------------------------------------------------------------------- #
+class FaultSpec:
+    """Base class for declarative fault conditions.
+
+    Subclasses are frozen dataclasses; ``resolve(server_ids)`` returns the
+    :class:`~repro.net.faults.FaultInjector` the spec describes.
+    """
+
+    def resolve(
+        self, server_ids: Sequence[ServerId]
+    ) -> FaultInjector:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoFaultSpec(FaultSpec):
+    """A healthy network (Δ = 0)."""
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> FaultInjector:
+        return NoFault()
+
+
+@dataclass(frozen=True)
+class BroadcastOmissionSpec(FaultSpec):
+    """The paper's broadcast loss model (Section VI-D) at rate Δ."""
+
+    loss_rate: float = 0.0
+    affect_unicast: bool = False
+
+    def __post_init__(self) -> None:
+        require_fraction(self.loss_rate, "loss_rate")
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> FaultInjector:
+        return BroadcastOmissionFault(self.loss_rate, self.affect_unicast)
+
+
+@dataclass(frozen=True)
+class PacketLossSpec(FaultSpec):
+    """i.i.d. per-message loss (NetEm ``loss``), unicast and broadcast alike."""
+
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_fraction(self.loss_rate, "loss_rate")
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> FaultInjector:
+        return PacketLossFault(self.loss_rate)
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec(FaultSpec):
+    """Cut an explicit set of directed links."""
+
+    broken_links: frozenset[tuple[ServerId, ServerId]] = field(
+        default_factory=frozenset
+    )
+    symmetric: bool = True
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> FaultInjector:
+        members = set(server_ids)
+        for src, dst in self.broken_links:
+            if src not in members or dst not in members:
+                raise ConfigurationError(
+                    f"broken link ({src}, {dst}) names a server outside the "
+                    f"cluster membership"
+                )
+        return LinkFault(broken_links=self.broken_links, symmetric=self.symmetric)
+
+
+@dataclass(frozen=True)
+class DuplicationSpec(FaultSpec):
+    """Deliver some messages twice (UDP-style duplication) at *rate*."""
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_fraction(self.rate, "rate")
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> FaultInjector:
+        return MessageDuplicationFault(self.rate)
+
+
+@dataclass(frozen=True)
+class CompositeFaultSpec(FaultSpec):
+    """Several fault conditions at once (loss, cuts and duplication compose)."""
+
+    parts: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for part in self.parts:
+            if not isinstance(part, FaultSpec):
+                raise ConfigurationError(
+                    f"CompositeFaultSpec parts must be FaultSpec instances, "
+                    f"got {part!r}"
+                )
+
+    def resolve(self, server_ids: Sequence[ServerId]) -> FaultInjector:
+        return CompositeFault(
+            injectors=tuple(part.resolve(server_ids) for part in self.parts)
+        )

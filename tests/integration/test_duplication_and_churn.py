@@ -5,7 +5,11 @@ import random
 import pytest
 
 from repro.cluster import ElectionHarness, ElectionObserver, build_cluster
-from repro.net.faults import MessageDuplicationFault
+from repro.net.faults import (
+    BroadcastOmissionFault,
+    CompositeFault,
+    MessageDuplicationFault,
+)
 from repro.net.latency import ConstantLatency
 from repro.raft.state import Role
 from repro.statemachine.kvstore import PutCommand
@@ -55,6 +59,21 @@ class TestMessageDuplication:
         measurement = harness.crash_leader_and_measure(seed=2)
         assert measurement.converged
         assert not measurement.split_vote
+
+    def test_duplication_survives_composition_with_loss(self):
+        # Regression: CompositeFault used to swallow should_duplicate, so a
+        # duplication fault wrapped with a loss model was silently disabled.
+        fault = CompositeFault(
+            injectors=(BroadcastOmissionFault(0.2), MessageDuplicationFault(0.1))
+        )
+        cluster, harness = build(protocol="escape", fault=fault)
+        harness.run_for(3_000.0)
+        stats = cluster.network.stats
+        assert stats.duplicated > 0
+        assert stats.dropped_by_fault > 0  # the omission half keeps working
+        measurement = harness.crash_leader_and_measure(seed=3)
+        assert measurement.converged
+        harness.assert_at_most_one_leader_per_term()
 
 
 class TestChurn:

@@ -29,6 +29,28 @@ class TestExperimentsCli:
         assert experiments_main(["ablation-k", "--runs", "1", "--quick"]) == 0
         assert "sensitivity to k" in capsys.readouterr().out
 
+    def test_wan_quick_run_prints_a_report(self, capsys):
+        assert experiments_main(["wan", "--runs", "1", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "WAN failover" in output
+        assert "geo-two-region" in output
+
+    def test_wan_scenario_override_runs_one_condition(self, capsys):
+        assert (
+            experiments_main(
+                ["wan", "--runs", "1", "--quick", "--scenario", "dup-heavy-udp"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "dup-heavy-udp" in output
+        assert "geo-two-region" not in output
+
+    def test_scenario_rejected_for_unaware_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig3", "--scenario", "paper-default"])
+        assert "--scenario is not supported" in capsys.readouterr().err
+
 
 class TestExamples:
     def test_quickstart_runs_and_reports_failover(self):

@@ -1,11 +1,16 @@
 """Unit tests for the reusable election scenarios."""
 
+import pickle
+
 import pytest
 
 from repro.cluster.scenarios import ElectionScenario
 from repro.common.config import ScaParameters
 from repro.common.errors import ConfigurationError
-from repro.net.faults import BroadcastOmissionFault, NoFault
+from repro.common.rng import paired_seeds
+from repro.net.faults import BroadcastOmissionFault, MessageDuplicationFault, NoFault
+from repro.net.latency import GeoGroupLatency
+from repro.net.specs import DuplicationSpec, GeoLatencySpec
 
 
 class TestScenarioConfiguration:
@@ -50,6 +55,72 @@ class TestScenarioConfiguration:
             scenario.build(seed=0)
 
 
+class TestScenarioSpecs:
+    def test_latency_spec_takes_precedence_over_range(self):
+        scenario = ElectionScenario(
+            protocol="raft",
+            cluster_size=6,
+            latency_range=(10.0, 20.0),
+            latency=GeoLatencySpec(region_count=2),
+        )
+        model = scenario.latency_model()
+        assert isinstance(model, GeoGroupLatency)
+        assert set(model.regions) == set(range(1, 7))
+
+    def test_fault_spec_resolves_against_the_membership(self):
+        scenario = ElectionScenario(
+            protocol="raft", cluster_size=5, fault=DuplicationSpec(0.4)
+        )
+        fault = scenario.fault_injector()
+        assert isinstance(fault, MessageDuplicationFault)
+        assert fault.rate == 0.4
+
+    def test_fault_spec_and_loss_rate_shorthand_conflict(self):
+        scenario = ElectionScenario(
+            protocol="raft",
+            cluster_size=5,
+            loss_rate=0.2,
+            fault=DuplicationSpec(0.1),
+        )
+        with pytest.raises(ConfigurationError, match="not both"):
+            scenario.fault_injector()
+
+    def test_spec_carrying_scenario_pickles(self):
+        scenario = ElectionScenario(
+            protocol="escape",
+            cluster_size=9,
+            latency=GeoLatencySpec(region_count=3),
+            fault=DuplicationSpec(0.2),
+        )
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+        assert clone.latency_model() == scenario.latency_model()
+
+    def test_spec_scenario_runs_deterministically(self):
+        scenario = ElectionScenario(
+            protocol="escape",
+            cluster_size=6,
+            latency=GeoLatencySpec(region_count=2),
+        )
+        first = scenario.run(seed=11)
+        second = scenario.run(seed=11)
+        assert first.total_ms == second.total_ms
+        assert first.converged
+
+    def test_measurement_extra_records_the_specs(self):
+        scenario = ElectionScenario(
+            protocol="escape",
+            cluster_size=4,
+            latency=GeoLatencySpec(region_count=2),
+            fault=DuplicationSpec(0.2),
+        )
+        measurement = scenario.run(seed=5)
+        assert measurement.extra["latency_spec"] == repr(
+            GeoLatencySpec(region_count=2)
+        )
+        assert measurement.extra["fault_spec"] == repr(DuplicationSpec(0.2))
+
+
 class TestScenarioRuns:
     def test_run_is_deterministic_for_a_seed(self):
         scenario = ElectionScenario(protocol="escape", cluster_size=5)
@@ -69,6 +140,28 @@ class TestScenarioRuns:
         measurements = scenario.run_many(runs=3, base_seed=9)
         assert len(measurements) == 3
         assert all(m.converged for m in measurements)
+
+    def test_run_many_uses_the_shared_seed_derivation(self):
+        """run_many delegates to paired_seeds -- golden values pinned.
+
+        The constants are ``paired_seeds(runs, base_seed, "run")``; a drift
+        here would silently unpair ``run_many`` from ``run_sweep`` again
+        (the historical inline ``stream("run", index)`` bug).
+        """
+        scenario = ElectionScenario(protocol="escape", cluster_size=4)
+        measurements = scenario.run_many(runs=3, base_seed=9)
+        assert [m.seed for m in measurements] == paired_seeds(3, 9, "run")
+        assert [m.seed for m in measurements] == [
+            3173716481,
+            299647418,
+            3957931404,
+        ]
+
+    def test_run_many_label_matches_a_sweep_of_the_same_label(self):
+        scenario = ElectionScenario(protocol="escape", cluster_size=4)
+        measurements = scenario.run_many(runs=2, base_seed=42, label="wan")
+        assert [m.seed for m in measurements] == paired_seeds(2, 42, "wan")
+        assert [m.seed for m in measurements] == [2764160534, 1673579558]
 
     def test_measurement_extra_records_scenario_parameters(self):
         scenario = ElectionScenario(

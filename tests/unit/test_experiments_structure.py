@@ -10,13 +10,14 @@ import pytest
 from repro.experiments import (
     ablation_k_sweep,
     ablation_ppf,
+    exp_wan,
     fig03_randomization,
     fig04_randomization_average,
     fig09_scale,
     fig10_competing_candidates,
     fig11_message_loss,
 )
-from repro.experiments.__main__ import EXPERIMENTS, build_parser
+from repro.experiments.__main__ import EXPERIMENTS, SCENARIO_AWARE, build_parser
 from repro.experiments.base import flatten_sets, paired_seeds, run_scenario_set
 from repro.cluster.scenarios import ElectionScenario
 
@@ -142,6 +143,67 @@ class TestAblations:
         assert "k" in ablation_k_sweep.report(result)
 
 
+class TestWan:
+    def test_cells_cover_protocols_and_conditions(self):
+        result = exp_wan.run(
+            runs=1,
+            seed=0,
+            conditions=("paper-default", "geo-two-region"),
+            cluster_size=4,
+        )
+        assert set(result.by_label) == {
+            f"{protocol}+{condition}"
+            for protocol in ("raft", "zraft", "escape")
+            for condition in ("paper-default", "geo-two-region")
+        }
+        assert result.average_for("escape", "geo-two-region") > 0
+        assert isinstance(
+            result.reduction_vs_raft("zraft", "paper-default"), float
+        )
+        report = exp_wan.report(result)
+        assert "WAN failover" in report and "geo-two-region" in report
+
+    def test_narrowed_protocols_are_respected_end_to_end(self):
+        result = exp_wan.run(
+            runs=1,
+            seed=0,
+            conditions=("paper-default",),
+            protocols=("raft", "escape"),
+            cluster_size=3,
+        )
+        assert result.protocols == ("raft", "escape")
+        assert set(result.by_label) == {
+            "raft+paper-default",
+            "escape+paper-default",
+        }
+        report = exp_wan.report(result)
+        assert "Z-Raft" not in report
+        assert "ESCAPE vs Raft" in report
+
+    def test_unknown_condition_fails_fast(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no-such"):
+            exp_wan.build_scenarios(conditions=("no-such",))
+
+    def test_parallel_equals_sequential(self):
+        """The wan sweep is bit-for-bit identical at any worker count."""
+        kwargs = dict(
+            runs=2,
+            seed=7,
+            conditions=("geo-two-region", "chaos-composite"),
+            cluster_size=3,
+        )
+        sequential = exp_wan.run(workers=1, **kwargs)
+        parallel = exp_wan.run(workers=2, **kwargs)
+        assert set(sequential.by_label) == set(parallel.by_label)
+        for label, measurement_set in sequential.by_label.items():
+            assert (
+                parallel.by_label[label].measurements
+                == measurement_set.measurements
+            )
+
+
 class TestCli:
     def test_parser_knows_every_experiment(self):
         parser = build_parser()
@@ -154,3 +216,17 @@ class TestCli:
         parser = build_parser()
         for name in EXPERIMENTS:
             assert parser.parse_args([name]).experiment == name
+
+    def test_scenario_option_accepts_catalog_names(self):
+        from repro.cluster.catalog import condition_names
+
+        parser = build_parser()
+        args = parser.parse_args(["wan", "--scenario", "chaos-composite"])
+        assert args.scenario == "chaos-composite"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["wan", "--scenario", "not-a-condition"])
+        assert "chaos-composite" in condition_names()
+
+    def test_scenario_aware_experiments_exist(self):
+        assert SCENARIO_AWARE <= set(EXPERIMENTS)
+        assert "wan" in SCENARIO_AWARE

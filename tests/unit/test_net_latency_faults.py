@@ -9,6 +9,7 @@ from repro.net.faults import (
     BroadcastOmissionFault,
     CompositeFault,
     LinkFault,
+    MessageDuplicationFault,
     NoFault,
     PacketLossFault,
 )
@@ -167,3 +168,30 @@ class TestCompositeFault:
         assert fault.drop_unicast(rng, 1, 2)
         assert not fault.drop_unicast(rng, 1, 3)
         assert fault.omitted_broadcast_targets(rng, 1, [2, 3]) == frozenset({2})
+
+    def test_forwards_duplication_from_wrapped_injectors(self):
+        # Regression: a MessageDuplicationFault inside a composite used to be
+        # silently disabled because the composite did not forward
+        # should_duplicate to the network's duck-typed lookup.
+        fault = CompositeFault(
+            injectors=(BroadcastOmissionFault(0.2), MessageDuplicationFault(1.0))
+        )
+        rng = random.Random(0)
+        assert fault.should_duplicate(rng, 1, 2)
+
+    def test_no_duplication_without_a_duplicating_injector(self):
+        fault = CompositeFault(
+            injectors=(BroadcastOmissionFault(0.2), PacketLossFault(0.5))
+        )
+        rng = random.Random(0)
+        assert not any(fault.should_duplicate(rng, 1, 2) for _ in range(50))
+
+    def test_duplication_rate_is_preserved_inside_the_composite(self):
+        direct = MessageDuplicationFault(0.3)
+        wrapped = CompositeFault(injectors=(MessageDuplicationFault(0.3),))
+        hits = lambda fault, seed: sum(  # noqa: E731 - tiny local helper
+            fault.should_duplicate(random.Random(seed), 1, 2) for _ in range(1)
+        )
+        # Same RNG stream, same decisions: wrapping must not perturb draws.
+        for seed in range(200):
+            assert hits(direct, seed) == hits(wrapped, seed)

@@ -126,6 +126,20 @@ class TestBroadcast:
         assert reached == len(targets) - 4  # ceil(0.4 * 9) == 4 omitted
         assert network.stats.dropped_by_fault == 4
 
+    def test_disconnected_sender_broadcast_keeps_accounting_balanced(self):
+        # Regression: a disconnected sender's broadcast used to bump
+        # dropped_disconnected without recording the messages as sent,
+        # breaking sent == delivered + dropped once everything drained.
+        world, network, inboxes = make_network(latency=ConstantLatency(5.0))
+        network.disconnect(1)
+        assert network.broadcast(1, [2, 3], lambda dst: f"for-{dst}") == []
+        world.run_for(10.0)
+        assert inboxes[2] == [] and inboxes[3] == []
+        assert network.stats.sent == 2
+        assert network.stats.dropped_disconnected == 2
+        assert network.stats.sent == network.stats.delivered + network.stats.dropped
+        assert network.stats.per_type_sent == {"str": 2}
+
     def test_unicast_loss_fault_counts_drops(self):
         world, network, inboxes = make_network(
             latency=ConstantLatency(5.0), fault=PacketLossFault(1.0)

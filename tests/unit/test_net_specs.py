@@ -1,0 +1,191 @@
+"""Unit tests for the declarative latency/fault specs.
+
+Every spec variant must resolve to the matching :mod:`repro.net` model with
+its parameters carried across, validate its inputs at construction, and
+pickle round-trip unchanged -- the properties the scenario layer and the
+parallel sweep engine rely on.
+"""
+
+import pickle
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.net.faults import (
+    BroadcastOmissionFault,
+    CompositeFault,
+    LinkFault,
+    MessageDuplicationFault,
+    NoFault,
+    PacketLossFault,
+)
+from repro.net.latency import (
+    ConstantLatency,
+    GeoGroupLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.specs import (
+    BroadcastOmissionSpec,
+    CompositeFaultSpec,
+    ConstantLatencySpec,
+    DuplicationSpec,
+    GeoLatencySpec,
+    LinkFaultSpec,
+    LogNormalLatencySpec,
+    NoFaultSpec,
+    PacketLossSpec,
+    UniformLatencySpec,
+    assign_regions,
+)
+
+SERVERS = (1, 2, 3, 4, 5)
+
+ALL_SPECS = [
+    UniformLatencySpec(50.0, 80.0),
+    ConstantLatencySpec(25.0),
+    LogNormalLatencySpec(median_ms=120.0, sigma=0.6, max_ms=2_000.0),
+    GeoLatencySpec(region_count=2, intra_ms=(1.0, 5.0), inter_ms=(90.0, 140.0)),
+    NoFaultSpec(),
+    BroadcastOmissionSpec(0.2, affect_unicast=True),
+    PacketLossSpec(0.1),
+    LinkFaultSpec(broken_links=frozenset({(1, 2)}), symmetric=False),
+    DuplicationSpec(0.3),
+    CompositeFaultSpec(parts=(BroadcastOmissionSpec(0.2), DuplicationSpec(0.1))),
+]
+
+
+class TestLatencySpecResolution:
+    def test_uniform_resolves_with_range(self):
+        model = UniformLatencySpec(50.0, 80.0).resolve(SERVERS)
+        assert isinstance(model, UniformLatency)
+        assert (model.low_ms, model.high_ms) == (50.0, 80.0)
+
+    def test_constant_resolves_with_value(self):
+        model = ConstantLatencySpec(25.0).resolve(SERVERS)
+        assert isinstance(model, ConstantLatency)
+        assert model.latency_ms == 25.0
+
+    def test_lognormal_resolves_with_parameters(self):
+        model = LogNormalLatencySpec(120.0, 0.6, 2_000.0).resolve(SERVERS)
+        assert isinstance(model, LogNormalLatency)
+        assert (model.median_ms, model.sigma, model.max_ms) == (120.0, 0.6, 2_000.0)
+
+    def test_geo_resolves_with_balanced_regions(self):
+        spec = GeoLatencySpec(
+            region_count=2, intra_ms=(1.0, 5.0), inter_ms=(90.0, 140.0)
+        )
+        model = spec.resolve(SERVERS)
+        assert isinstance(model, GeoGroupLatency)
+        assert model.intra_ms == (1.0, 5.0)
+        assert model.inter_ms == (90.0, 140.0)
+        # 5 servers over 2 regions: contiguous 3/2 split.
+        assert model.region_of(1) == model.region_of(3)
+        assert model.region_of(4) == model.region_of(5)
+        assert model.region_of(3) != model.region_of(4)
+
+    def test_geo_spec_is_cluster_size_independent(self):
+        spec = GeoLatencySpec(region_count=3)
+        small = spec.resolve((1, 2, 3))
+        large = spec.resolve(tuple(range(1, 31)))
+        assert len(set(small.regions.values())) == 3
+        assert len(set(large.regions.values())) == 3
+
+    def test_validation_mirrors_the_models(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatencySpec(200.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            ConstantLatencySpec(-1.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalLatencySpec(median_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            GeoLatencySpec(region_count=0)
+        with pytest.raises(ConfigurationError):
+            GeoLatencySpec(intra_ms=(-10.0, -5.0))
+        with pytest.raises(ConfigurationError):
+            GeoLatencySpec(inter_ms=(-1.0, 200.0))
+
+    def test_geo_rejects_more_regions_than_servers(self):
+        with pytest.raises(ConfigurationError):
+            GeoLatencySpec(region_count=4).resolve((1, 2, 3))
+
+
+class TestAssignRegions:
+    def test_contiguous_balanced_blocks(self):
+        regions = assign_regions((1, 2, 3, 4, 5, 6, 7), 3)
+        blocks = {}
+        for server, region in regions.items():
+            blocks.setdefault(region, []).append(server)
+        assert sorted(len(block) for block in blocks.values()) == [2, 2, 3]
+        for block in blocks.values():
+            block = sorted(block)
+            assert block == list(range(block[0], block[0] + len(block)))
+
+    def test_single_region_covers_everyone(self):
+        regions = assign_regions((1, 2, 3), 1)
+        assert set(regions.values()) == {"region-0"}
+
+
+class TestFaultSpecResolution:
+    def test_no_fault(self):
+        assert isinstance(NoFaultSpec().resolve(SERVERS), NoFault)
+
+    def test_broadcast_omission(self):
+        fault = BroadcastOmissionSpec(0.2, affect_unicast=True).resolve(SERVERS)
+        assert isinstance(fault, BroadcastOmissionFault)
+        assert fault.loss_rate == 0.2
+        assert fault.affect_unicast
+
+    def test_packet_loss(self):
+        fault = PacketLossSpec(0.1).resolve(SERVERS)
+        assert isinstance(fault, PacketLossFault)
+        assert fault.loss_rate == 0.1
+
+    def test_link_fault(self):
+        spec = LinkFaultSpec(broken_links=frozenset({(1, 2)}), symmetric=False)
+        fault = spec.resolve(SERVERS)
+        assert isinstance(fault, LinkFault)
+        assert fault.broken_links == frozenset({(1, 2)})
+        assert not fault.symmetric
+
+    def test_link_fault_rejects_unknown_servers(self):
+        spec = LinkFaultSpec(broken_links=frozenset({(1, 99)}))
+        with pytest.raises(ConfigurationError):
+            spec.resolve(SERVERS)
+
+    def test_duplication(self):
+        fault = DuplicationSpec(0.3).resolve(SERVERS)
+        assert isinstance(fault, MessageDuplicationFault)
+        assert fault.rate == 0.3
+
+    def test_composite_resolves_every_part_in_order(self):
+        spec = CompositeFaultSpec(
+            parts=(BroadcastOmissionSpec(0.2), DuplicationSpec(0.1))
+        )
+        fault = spec.resolve(SERVERS)
+        assert isinstance(fault, CompositeFault)
+        assert isinstance(fault.injectors[0], BroadcastOmissionFault)
+        assert isinstance(fault.injectors[1], MessageDuplicationFault)
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastOmissionSpec(1.5)
+        with pytest.raises(ConfigurationError):
+            PacketLossSpec(-0.1)
+        with pytest.raises(ConfigurationError):
+            DuplicationSpec(2.0)
+
+    def test_composite_rejects_non_spec_parts(self):
+        with pytest.raises(ConfigurationError):
+            CompositeFaultSpec(parts=(BroadcastOmissionFault(0.2),))
+
+
+class TestPicklability:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__)
+    def test_every_spec_round_trips(self, spec):
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_resolution_after_round_trip_is_identical(self):
+        spec = GeoLatencySpec(region_count=2)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.resolve(SERVERS) == spec.resolve(SERVERS)
