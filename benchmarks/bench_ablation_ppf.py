@@ -20,6 +20,11 @@ def test_ablation_ppf_contribution(benchmark, bench_runs, full_grids, bench_work
             seed=5,
             cluster_size=cluster_size,
             loss_rates=loss_rates,
+            # Pin the historical Z-Raft-vs-ESCAPE pair: the experiment's
+            # default grid now also sweeps escape-noppf, which would change
+            # both this benchmark's workload and what ppf_benefit measures,
+            # breaking comparability of recorded numbers.
+            protocols=("zraft", "escape"),
             workers=bench_workers,
         )
 

@@ -8,7 +8,10 @@ The package is organised in layers (see DESIGN.md for the full inventory):
   persistence), :mod:`repro.statemachine` (replicated state machines);
 * protocols -- :mod:`repro.raft` (baseline Raft), :mod:`repro.escape` (the
   paper's contribution: SCA + PPF + configuration clock), :mod:`repro.zraft`
-  (ZooKeeper-style static priorities);
+  (ZooKeeper-style static priorities), all dispatched through the plugin
+  registry in :mod:`repro.protocols` (which also registers the deterministic
+  baselines ``raft-fixed``/``raft-stagger`` and the ``escape-noppf``
+  ablation variant);
 * harnesses -- :mod:`repro.cluster` (simulated clusters, fault scenarios,
   election measurement), :mod:`repro.runtime` (asyncio real-time runtime),
   :mod:`repro.metrics`, :mod:`repro.analysis`, :mod:`repro.experiments`
@@ -30,22 +33,27 @@ from repro.common import (
     ScaParameters,
     SeedSequence,
 )
-from repro.escape import Configuration, EscapeNode
+from repro.escape import Configuration, EscapeNode, EscapeNoPpfNode
 from repro.raft import RaftNode, Role
 from repro.zraft import ZRaftNode
+from repro import protocols
+from repro.protocols import ProtocolSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterConfig",
     "Configuration",
+    "EscapeNoPpfNode",
     "EscapeNode",
     "ProtocolConfig",
+    "ProtocolSpec",
     "RaftNode",
     "RaftTimeoutConfig",
     "Role",
     "ScaParameters",
     "SeedSequence",
     "ZRaftNode",
+    "protocols",
     "__version__",
 ]

@@ -4,8 +4,8 @@ The harness is what the experiment modules (and the examples) drive:
 
 * :mod:`repro.cluster.environment` adapts the discrete-event simulator to the
   node's :class:`~repro.raft.environment.Environment` protocol;
-* :mod:`repro.cluster.builder` wires nodes, network and world together for a
-  chosen protocol (``raft`` / ``escape`` / ``zraft``);
+* :mod:`repro.cluster.builder` wires nodes, network and world together for
+  any protocol registered in :mod:`repro.protocols`;
 * :mod:`repro.cluster.observers` records election events cluster-wide;
 * :mod:`repro.cluster.harness` runs elections and produces
   :class:`~repro.metrics.records.ElectionMeasurement` records;

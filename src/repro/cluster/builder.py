@@ -4,17 +4,24 @@ The builder wires together a :class:`~repro.sim.world.SimulationWorld`, a
 :class:`~repro.net.network.SimulatedNetwork`, and one protocol node (plus its
 environment and durable store) per member, and returns a
 :class:`SimulatedCluster` facade the harness and examples drive.
+
+Which protocols exist -- and how each one constructs its nodes -- is entirely
+the business of the protocol registry (:mod:`repro.protocols`): the builder
+looks the requested name up and delegates node construction to
+:meth:`~repro.protocols.ProtocolSpec.build_node`, so registering a new
+protocol spec makes it buildable here with no code change.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterable, Mapping
 
+from repro import protocols
 from repro.common.config import ClusterConfig, ProtocolConfig
 from repro.common.errors import ClusterError, ConfigurationError
 from repro.common.types import ServerId
 from repro.cluster.environment import SimNodeEnvironment
-from repro.escape.node import EscapeNode
 from repro.net.faults import FaultInjector
 from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.network import SimulatedNetwork
@@ -26,10 +33,6 @@ from repro.sim.world import SimulationWorld
 from repro.statemachine.base import StateMachine
 from repro.statemachine.kvstore import KeyValueStore
 from repro.storage.persistent import InMemoryStore
-from repro.zraft.node import ZRaftNode
-
-#: Registry of the protocols the builder knows how to instantiate.
-PROTOCOLS = ("raft", "escape", "zraft")
 
 TimeoutPolicyFactory = Callable[[ServerId], ElectionTimeoutPolicy | None]
 StateMachineFactory = Callable[[ServerId], StateMachine]
@@ -170,14 +173,16 @@ def build_cluster(
     protocol_config: ProtocolConfig | None = None,
     listeners: Iterable[NodeListener] = (),
     timeout_policy_factory: TimeoutPolicyFactory | None = None,
-    escape_override_factory: TimeoutPolicyFactory | None = None,
+    timeout_override_factory: TimeoutPolicyFactory | None = None,
     state_machine_factory: StateMachineFactory | None = None,
     trace: bool = True,
+    escape_override_factory: TimeoutPolicyFactory | None = None,
 ) -> SimulatedCluster:
     """Build a ready-to-start simulated cluster.
 
     Args:
-        protocol: ``"raft"``, ``"escape"`` or ``"zraft"``.
+        protocol: any name registered in :mod:`repro.protocols` (e.g.
+            ``"raft"``, ``"escape"``, ``"zraft"``, ``"escape-noppf"``).
         size: number of servers (``S1 .. Sn``).
         seed: root seed of the run (drives every random decision).
         latency: latency model (defaults to the paper's 100-200 ms uniform).
@@ -185,19 +190,34 @@ def build_cluster(
         protocol_config: timing knobs (defaults to the paper's values).
         listeners: listeners attached to every node (e.g. an
             :class:`~repro.cluster.observers.ElectionObserver`).
-        timeout_policy_factory: per-node election timeout policy for *Raft*
-            nodes (used by the contention scenarios); return ``None`` to keep
-            the default randomized policy.
-        escape_override_factory: per-node timeout override for ESCAPE/Z-Raft
-            nodes (used by the contention scenarios).
+        timeout_policy_factory: per-node election timeout policy for
+            policy-driven protocols (the Raft family; used by the contention
+            scenarios); return ``None`` to keep the spec's default policy.
+        timeout_override_factory: per-node timeout override for
+            override-driven protocols (the ESCAPE family, including Z-Raft;
+            used by the contention scenarios).
         state_machine_factory: per-node state machine (defaults to a
             :class:`~repro.statemachine.kvstore.KeyValueStore`).
         trace: whether to record the world trace (disable in large sweeps).
+        escape_override_factory: deprecated alias for
+            ``timeout_override_factory`` (the override never applied only to
+            ESCAPE -- Z-Raft consumed it too).
     """
-    if protocol not in PROTOCOLS:
-        raise ConfigurationError(
-            f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+    if escape_override_factory is not None:
+        warnings.warn(
+            "escape_override_factory is deprecated; use "
+            "timeout_override_factory (it applies to every override-driven "
+            "protocol, not just ESCAPE)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        if timeout_override_factory is not None:
+            raise ConfigurationError(
+                "give timeout_override_factory or the deprecated "
+                "escape_override_factory alias, not both"
+            )
+        timeout_override_factory = escape_override_factory
+    spec = protocols.get(protocol)
     cluster_config = ClusterConfig.of_size(size)
     config = protocol_config or ProtocolConfig.paper_defaults()
     world = SimulationWorld(seed=seed, trace=trace)
@@ -212,46 +232,30 @@ def build_cluster(
     shared_listeners = list(listeners)
     for server_id in cluster_config.server_ids:
         env = SimNodeEnvironment(world, network, server_id)
-        store = InMemoryStore()
-        machine = (
-            state_machine_factory(server_id)
-            if state_machine_factory is not None
-            else KeyValueStore()
-        )
-        if protocol == "raft":
-            policy = (
+        node = spec.build_node(
+            node_id=server_id,
+            cluster=cluster_config,
+            env=env,
+            store=InMemoryStore(),
+            state_machine=(
+                state_machine_factory(server_id)
+                if state_machine_factory is not None
+                else KeyValueStore()
+            ),
+            protocol_config=config,
+            listeners=shared_listeners,
+            timeout_policy=(
                 timeout_policy_factory(server_id)
                 if timeout_policy_factory is not None
                 else None
-            )
-            node: RaftNode = RaftNode(
-                node_id=server_id,
-                cluster=cluster_config,
-                env=env,
-                store=store,
-                state_machine=machine,
-                timeout_policy=policy,
-                protocol_config=config,
-                listeners=shared_listeners,
-            )
-        else:
-            override = (
-                escape_override_factory(server_id)
-                if escape_override_factory is not None
+            ),
+            timeout_override=(
+                timeout_override_factory(server_id)
+                if timeout_override_factory is not None
                 else None
-            )
-            node_class = EscapeNode if protocol == "escape" else ZRaftNode
-            node = node_class(
-                node_id=server_id,
-                cluster=cluster_config,
-                env=env,
-                store=store,
-                state_machine=machine,
-                protocol_config=config,
-                listeners=shared_listeners,
-                timeout_override=override,
-            )
+            ),
+        )
         network.register(server_id, node.on_message)
         nodes[server_id] = node
 
-    return SimulatedCluster(protocol, cluster_config, world, network, nodes)
+    return SimulatedCluster(spec.name, cluster_config, world, network, nodes)

@@ -177,7 +177,8 @@ def scenario_for(
 
     Args:
         condition: a condition or its catalog name.
-        protocol: ``"raft"``, ``"escape"`` or ``"zraft"``.
+        protocol: any protocol name registered in :mod:`repro.protocols`
+            (an unknown name fails fast with the list of registered ones).
         cluster_size: number of servers.
         **overrides: any other :class:`ElectionScenario` field (e.g.
             ``workload_interval_ms=50.0``).  Overrides are applied *after*

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from repro import protocols as protocol_registry
 from repro.cluster.builder import SimulatedCluster, build_cluster
 from repro.cluster.harness import ElectionHarness
 from repro.cluster.observers import ElectionObserver
@@ -37,7 +38,9 @@ class ElectionScenario:
     """One experimental condition for a leader-failure episode.
 
     Attributes:
-        protocol: ``"raft"``, ``"escape"`` or ``"zraft"``.
+        protocol: any protocol name registered in :mod:`repro.protocols`
+            (e.g. ``"raft"``, ``"escape"``, ``"zraft"``, ``"escape-noppf"``);
+            validated against the registry at construction time.
         cluster_size: number of servers.
         raft_timeout_range: Raft's randomized election-timeout range
             ``(min_ms, max_ms)``; Figure 3 sweeps it, Figures 9-11 fix it at
@@ -84,6 +87,12 @@ class ElectionScenario:
     stabilize_ms: Milliseconds = 120_000.0
     max_election_ms: Milliseconds = 120_000.0
     trace: bool = False
+
+    def __post_init__(self) -> None:
+        # Fail fast with the registry's own error (it lists every registered
+        # name) instead of deep inside build(); unpickling skips this, so a
+        # sweep worker never re-validates what the parent already accepted.
+        protocol_registry.get(self.protocol)
 
     # ------------------------------------------------------------------ #
     # Derived pieces
@@ -146,7 +155,7 @@ class ElectionScenario:
             protocol_config=self.protocol_config(),
             listeners=(observer,),
             timeout_policy_factory=timeout_policy_factory,
-            escape_override_factory=override_factory,
+            timeout_override_factory=override_factory,
             trace=self.trace,
         )
         return cluster, ElectionHarness(cluster, observer)
@@ -235,12 +244,12 @@ class ElectionScenario:
         collision_timeout = seeds.stream("scenario", "contention").uniform(low, high)
         script = tuple([collision_timeout] * self.contention_phases)
 
-        def raft_policy(server_id: ServerId) -> ElectionTimeoutPolicy:
+        def policy_factory(server_id: ServerId) -> ElectionTimeoutPolicy:
             return ScriptedTimeoutPolicy(
                 script=script, fallback=RandomizedTimeoutPolicy(low, high)
             )
 
-        def escape_override(server_id: ServerId) -> ElectionTimeoutPolicy:
+        def override_factory(server_id: ServerId) -> ElectionTimeoutPolicy:
             return ScriptOnlyPolicy(script=script)
 
-        return raft_policy, escape_override
+        return policy_factory, override_factory

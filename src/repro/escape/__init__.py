@@ -23,7 +23,7 @@ from repro.escape.messages import (
     EscapeAppendEntriesResponse,
     EscapeRequestVoteRequest,
 )
-from repro.escape.node import EscapeNode
+from repro.escape.node import EscapeNode, EscapeNoPpfNode
 from repro.escape.ppf import FollowerResponsiveness, ProbingPatrol
 from repro.escape.sca import assign_initial_configurations
 
@@ -32,6 +32,7 @@ __all__ = [
     "Configuration",
     "EscapeAppendEntriesRequest",
     "EscapeAppendEntriesResponse",
+    "EscapeNoPpfNode",
     "EscapeNode",
     "EscapeRequestVoteRequest",
     "FollowerResponsiveness",

@@ -271,3 +271,27 @@ class EscapeNode(RaftNode):
             "log_last_index": self.log.last_index,
             "commit_index": self.commit_index,
         }
+
+
+class EscapeNoPpfNode(EscapeNode):
+    """ESCAPE with the Probing Patrol disabled: the ablation as a protocol.
+
+    Leaders never instantiate a patrol, so the initial SCA configurations
+    (priority = server id, timeout from Eq. 1) are permanent and the
+    configuration clock stays at its initial value cluster-wide.  Unlike
+    :class:`~repro.zraft.node.ZRaftNode` -- which also strips the ESCAPE
+    message extensions and the clock-based vote gate -- this variant keeps
+    the full ESCAPE wire format and vote gating, so it isolates *exactly*
+    the contribution of the PPF's dynamic rearrangement (Section IV-B).
+
+    Every other hook inherits from :class:`EscapeNode` and degrades
+    gracefully when ``patrol is None``: heartbeats carry no new
+    configuration, follower replies still report their (static)
+    ``configStatus``, and responsiveness records are dropped.
+    """
+
+    protocol_name = "escape-noppf"
+
+    def _hook_on_become_leader(self) -> None:
+        """Never start a patrol: configurations are frozen at assignment."""
+        self.patrol = None

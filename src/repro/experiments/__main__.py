@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments fig9 --runs 200 --seed 1
     python -m repro.experiments fig11 --runs 1000 --workers 0   # paper-scale sweep
     python -m repro.experiments wan --scenario chaos-composite  # catalog condition
+    python -m repro.experiments wan --protocols raft-stagger,escape-noppf,escape
     python -m repro.experiments all --runs 20                   # quick smoke pass
 
 ``--workers N`` fans the episodes of a sweep out over N processes
@@ -12,6 +13,10 @@ Usage::
 sequential run with the same seed.  ``--scenario NAME`` (experiments that
 support it: ``wan``) selects a single named network condition from
 :mod:`repro.cluster.catalog` instead of the experiment's default grid.
+``--protocols a,b,c`` replaces a protocol-aware experiment's default
+comparison with any protocols registered in :mod:`repro.protocols` (unknown
+names are rejected with the list of registered ones; so are protocols that
+do not guarantee leader election, since every sweep must stabilise one).
 
 Every experiment prints the same rows/series the corresponding paper figure
 plots; see EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -25,6 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import protocols as protocol_registry
 from repro.cluster.catalog import condition_names
 from repro.experiments import (
     ablation_k_sweep,
@@ -49,6 +55,7 @@ class RunRequest:
     quick: bool
     workers: int | None
     scenario: str | None = None
+    protocols: tuple[str, ...] | None = None
 
     @property
     def progress(self):
@@ -85,6 +92,7 @@ def _run_fig9(request: RunRequest) -> str:
         runs=request.runs,
         seed=request.seed,
         sizes=sizes,
+        protocols=request.protocols or fig09_scale.PROTOCOLS,
         progress=request.progress,
         workers=request.workers,
     )
@@ -97,6 +105,7 @@ def _run_fig10(request: RunRequest) -> str:
         runs=request.runs,
         seed=request.seed,
         sizes=sizes,
+        protocols=request.protocols or fig10_competing_candidates.PROTOCOLS,
         progress=request.progress,
         workers=request.workers,
     )
@@ -109,6 +118,7 @@ def _run_fig11(request: RunRequest) -> str:
         runs=request.runs,
         seed=request.seed,
         sizes=sizes,
+        protocols=request.protocols or fig11_message_loss.PROTOCOLS,
         progress=request.progress,
         workers=request.workers,
     )
@@ -119,6 +129,7 @@ def _run_ablation_ppf(request: RunRequest) -> str:
     result = ablation_ppf.run(
         runs=request.runs,
         seed=request.seed,
+        protocols=request.protocols or ablation_ppf.PROTOCOLS,
         progress=request.progress,
         workers=request.workers,
     )
@@ -152,6 +163,7 @@ def _run_wan(request: RunRequest) -> str:
         runs=request.runs,
         seed=request.seed,
         conditions=conditions,
+        protocols=request.protocols or exp_wan.PROTOCOLS,
         cluster_size=cluster_size,
         progress=request.progress,
         workers=request.workers,
@@ -174,6 +186,11 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
 #: Experiments that understand the ``--scenario`` catalog-condition override.
 SCENARIO_AWARE: frozenset[str] = frozenset({"wan"})
 
+#: Experiments that understand the ``--protocols`` registry override.
+PROTOCOL_AWARE: frozenset[str] = frozenset(
+    {"fig9", "fig10", "fig11", "wan", "ablation-ppf"}
+)
+
 
 def _worker_count(value: str) -> int:
     count = int(value)
@@ -182,6 +199,34 @@ def _worker_count(value: str) -> int:
             f"--workers must be >= 0 (0 means one per CPU), got {count}"
         )
     return count
+
+
+def _protocol_list(value: str) -> tuple[str, ...]:
+    names = tuple(part.strip() for part in value.split(",") if part.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(
+            "--protocols needs at least one protocol name"
+        )
+    sweepable = [
+        spec.name
+        for spec in protocol_registry.specs()
+        if spec.guarantees_liveness
+    ]
+    for name in names:
+        if not protocol_registry.is_registered(name):
+            raise argparse.ArgumentTypeError(
+                f"unknown protocol {name!r}; registered: "
+                f"{', '.join(protocol_registry.names())}"
+            )
+        if not protocol_registry.get(name).guarantees_liveness:
+            # Every experiment stabilises a leader before measuring, so a
+            # protocol that livelocks by design can only abort the sweep.
+            raise argparse.ArgumentTypeError(
+                f"protocol {name!r} does not guarantee leader election (it "
+                "livelocks by design) and cannot run in an experiment sweep; "
+                f"sweepable protocols: {', '.join(sweepable)}"
+            )
+    return names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -225,6 +270,18 @@ def build_parser() -> argparse.ArgumentParser:
             f"catalog (supported by: {', '.join(sorted(SCENARIO_AWARE))})"
         ),
     )
+    parser.add_argument(
+        "--protocols",
+        type=_protocol_list,
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=(
+            "comma-separated protocols from the registry "
+            f"({', '.join(protocol_registry.names())}) replacing the "
+            "experiment's default comparison (supported by: "
+            f"{', '.join(sorted(PROTOCOL_AWARE))})"
+        ),
+    )
     return parser
 
 
@@ -240,16 +297,26 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"--scenario is not supported by: {', '.join(unsupported)} "
                 f"(supported: {', '.join(sorted(SCENARIO_AWARE))})"
             )
+    if args.protocols is not None:
+        unsupported = [name for name in names if name not in PROTOCOL_AWARE]
+        if unsupported:
+            parser.error(
+                f"--protocols is not supported by: {', '.join(unsupported)} "
+                f"(supported: {', '.join(sorted(PROTOCOL_AWARE))})"
+            )
     request = RunRequest(
         runs=args.runs,
         seed=args.seed,
         quick=args.quick,
         workers=None if args.workers == 0 else args.workers,
         scenario=args.scenario,
+        protocols=args.protocols,
     )
     for name in names:
         started = time.perf_counter()
         scenario_note = f", scenario={args.scenario}" if args.scenario else ""
+        if args.protocols:
+            scenario_note += f", protocols={','.join(args.protocols)}"
         print(
             f"== {name} (runs={args.runs}, seed={args.seed}, "
             f"workers={args.workers or 'auto'}{scenario_note}) ==",

@@ -1,11 +1,14 @@
 """Ablation: how much of ESCAPE's benefit comes from the PPF?
 
 This experiment is not a paper figure; it isolates the design choice the paper
-motivates in Section IV-B.  Z-Raft already *is* "SCA without PPF", so the
-ablation compares Z-Raft and full ESCAPE under increasing broadcast loss with
-an active client workload.  The expectation (and the paper's narrative in
-Section VI-D) is that the two are indistinguishable at Δ=0 and diverge as the
-statically privileged servers fall behind in log replication.
+motivates in Section IV-B.  The registry makes the ablation first-class: the
+``escape-noppf`` protocol is full ESCAPE with the Probing Patrol disabled, so
+the cleanest comparison is ``escape-noppf`` vs ``escape`` under increasing
+broadcast loss with an active client workload.  Z-Raft rides along as the
+historical stand-in ("SCA without PPF" with plain Raft wire messages).  The
+expectation (and the paper's narrative in Section VI-D) is that the variants
+are indistinguishable at Δ=0 and diverge as the statically privileged servers
+fall behind in log replication.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import protocols as protocol_registry
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
 from repro.metrics.records import MeasurementSet
@@ -21,7 +25,11 @@ from repro.metrics.tables import render_table
 
 DEFAULT_SIZE = 20
 DEFAULT_LOSS_RATES: tuple[float, ...] = (0.0, 0.2, 0.4)
-PROTOCOLS: tuple[str, ...] = ("zraft", "escape")
+
+#: The ablation grid: two no-PPF baselines against full ESCAPE.
+PROTOCOLS: tuple[str, ...] = protocol_registry.validated(
+    "zraft", "escape-noppf", "escape"
+)
 
 
 @dataclass(frozen=True)
@@ -32,6 +40,7 @@ class PpfAblationResult:
     loss_rates: tuple[float, ...]
     runs: int
     by_label: Mapping[str, MeasurementSet]
+    protocols: tuple[str, ...] = PROTOCOLS
 
     def measurements_for(self, protocol: str, loss_rate: float) -> MeasurementSet:
         return self.by_label[cell_label(protocol, loss_rate)]
@@ -39,10 +48,18 @@ class PpfAblationResult:
     def average_for(self, protocol: str, loss_rate: float) -> float:
         return self.measurements_for(protocol, loss_rate).mean_total_ms()
 
+    def no_ppf_baseline(self) -> str:
+        """The no-PPF protocol the benefit is measured against.
+
+        ``escape-noppf`` when it is part of the sweep (the exact ablation),
+        otherwise ``zraft`` (the historical stand-in).
+        """
+        return "escape-noppf" if "escape-noppf" in self.protocols else "zraft"
+
     def ppf_benefit_percent(self, loss_rate: float) -> float:
-        """Reduction of ESCAPE (with PPF) vs Z-Raft (without PPF)."""
+        """Reduction of full ESCAPE vs the no-PPF baseline."""
         return reduction_percent(
-            self.average_for("zraft", loss_rate),
+            self.average_for(self.no_ppf_baseline(), loss_rate),
             self.average_for("escape", loss_rate),
         )
 
@@ -54,10 +71,11 @@ def cell_label(protocol: str, loss_rate: float) -> str:
 def build_scenarios(
     cluster_size: int = DEFAULT_SIZE,
     loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    protocols: Sequence[str] = PROTOCOLS,
 ) -> dict[str, ElectionScenario]:
     scenarios: dict[str, ElectionScenario] = {}
     for loss_rate in loss_rates:
-        for protocol in PROTOCOLS:
+        for protocol in protocols:
             scenarios[cell_label(protocol, loss_rate)] = ElectionScenario(
                 protocol=protocol,
                 cluster_size=cluster_size,
@@ -73,11 +91,12 @@ def run(
     seed: int = 0,
     cluster_size: int = DEFAULT_SIZE,
     loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    protocols: Sequence[str] = PROTOCOLS,
     progress: ProgressCallback | None = None,
     workers: int | None = 1,
 ) -> PpfAblationResult:
     """Execute the PPF ablation sweep (optionally fanned out over *workers*)."""
-    scenarios = build_scenarios(cluster_size, loss_rates)
+    scenarios = build_scenarios(cluster_size, loss_rates, protocols)
     by_label = run_scenario_set(
         scenarios, runs=runs, seed=seed, progress=progress, workers=workers
     )
@@ -86,22 +105,33 @@ def run(
         loss_rates=tuple(loss_rates),
         runs=runs,
         by_label=by_label,
+        protocols=tuple(protocols),
     )
 
 
 def report(result: PpfAblationResult) -> str:
+    headers = ["loss Δ"]
+    headers += [
+        f"{protocol_registry.title(protocol)} (ms)"
+        for protocol in result.protocols
+    ]
+    with_benefit = "escape" in result.protocols and (
+        result.no_ppf_baseline() in result.protocols
+    )
+    if with_benefit:
+        headers.append("PPF benefit")
     rows = []
     for loss_rate in result.loss_rates:
-        rows.append(
-            [
-                f"{loss_rate * 100:.0f}%",
-                f"{result.average_for('zraft', loss_rate):.0f}",
-                f"{result.average_for('escape', loss_rate):.0f}",
-                f"{result.ppf_benefit_percent(loss_rate):.1f}%",
-            ]
-        )
+        row = [f"{loss_rate * 100:.0f}%"]
+        row += [
+            f"{result.average_for(protocol, loss_rate):.0f}"
+            for protocol in result.protocols
+        ]
+        if with_benefit:
+            row.append(f"{result.ppf_benefit_percent(loss_rate):.1f}%")
+        rows.append(row)
     return render_table(
-        headers=["loss Δ", "SCA only / Z-Raft (ms)", "SCA+PPF / ESCAPE (ms)", "PPF benefit"],
+        headers=headers,
         rows=rows,
         title=(
             f"Ablation — contribution of the PPF at {result.cluster_size} servers "

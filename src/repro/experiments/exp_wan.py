@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import protocols as protocol_registry
 from repro.cluster.catalog import get_condition, scenario_for
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
@@ -34,8 +35,9 @@ WAN_CONDITIONS: tuple[str, ...] = (
     "geo-three-region",
 )
 
-#: The protocols compared (the full three-way comparison of Figure 11).
-PROTOCOLS: tuple[str, ...] = ("raft", "zraft", "escape")
+#: The protocols compared (the full three-way comparison of Figure 11),
+#: validated against the registry.
+PROTOCOLS: tuple[str, ...] = protocol_registry.PAPER_PROTOCOLS
 
 #: Nine servers: three per region under the three-region split, mirroring the
 #: example deployment sketched in Section II-B.
@@ -120,26 +122,23 @@ def run(
     )
 
 
-#: Display names for the table headers.
-_PROTOCOL_TITLES = {"raft": "Raft", "zraft": "Z-Raft", "escape": "ESCAPE"}
-
-
 def report(result: WanResult) -> str:
     """Render averages, reductions vs Raft and split-vote rates per condition.
 
-    Columns adapt to the protocols actually swept; the reduction column only
-    appears when both Raft and ESCAPE are present.
+    Columns adapt to the protocols actually swept (display labels come from
+    the protocol registry); the reduction column only appears when both Raft
+    and ESCAPE are present.
     """
     with_reduction = {"raft", "escape"} <= set(result.protocols)
     headers = ["condition"]
     headers += [
-        f"{_PROTOCOL_TITLES.get(protocol, protocol)} (ms)"
+        f"{protocol_registry.title(protocol)} (ms)"
         for protocol in result.protocols
     ]
     if with_reduction:
         headers.append("ESCAPE vs Raft")
     headers += [
-        f"{_PROTOCOL_TITLES.get(protocol, protocol)} split votes"
+        f"{protocol_registry.title(protocol)} split votes"
         for protocol in result.protocols
     ]
     rows = []

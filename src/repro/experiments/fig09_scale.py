@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import protocols as protocol_registry
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
 from repro.metrics.records import MeasurementSet
@@ -23,8 +24,8 @@ from repro.metrics.tables import render_table
 #: Cluster sizes evaluated by the paper.
 PAPER_SIZES: tuple[int, ...] = (8, 16, 32, 64, 128)
 
-#: The protocols compared in Figure 9.
-PROTOCOLS: tuple[str, ...] = ("raft", "escape")
+#: The protocols compared in Figure 9 (validated against the registry).
+PROTOCOLS: tuple[str, ...] = protocol_registry.RAFT_VS_ESCAPE
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,7 @@ class ScaleResult:
     sizes: tuple[int, ...]
     runs: int
     by_label: Mapping[str, MeasurementSet]
+    protocols: tuple[str, ...] = PROTOCOLS
 
     def measurements_for(self, protocol: str, size: int) -> MeasurementSet:
         """Measurements for one protocol at one scale."""
@@ -86,40 +88,50 @@ def run(
     by_label = run_scenario_set(
         scenarios, runs=runs, seed=seed, progress=progress, workers=workers
     )
-    return ScaleResult(sizes=tuple(sizes), runs=runs, by_label=by_label)
+    return ScaleResult(
+        sizes=tuple(sizes),
+        runs=runs,
+        by_label=by_label,
+        protocols=tuple(protocols),
+    )
 
 
 def report(result: ScaleResult) -> str:
-    """Render the averages, tail behaviour and split-vote rates per scale."""
+    """Render the averages, tail behaviour and split-vote rates per scale.
+
+    Columns adapt to the protocols actually swept (display labels come from
+    the protocol registry); the reduction column only appears when both Raft
+    and ESCAPE are present.
+    """
+    with_reduction = {"raft", "escape"} <= set(result.protocols)
+    labels = {
+        protocol: protocol_registry.title(protocol)
+        for protocol in result.protocols
+    }
+    headers = ["servers"]
+    headers += [f"{labels[protocol]} mean (ms)" for protocol in result.protocols]
+    if with_reduction:
+        headers.append("reduction")
+    headers += [f"{labels[protocol]} max (ms)" for protocol in result.protocols]
+    headers += [f"{labels[protocol]} split votes" for protocol in result.protocols]
     rows = []
     for size in result.sizes:
-        raft = result.measurements_for("raft", size)
-        escape = result.measurements_for("escape", size)
-        raft_summary = summarize(raft.totals_ms())
-        escape_summary = summarize(escape.totals_ms())
-        rows.append(
-            [
-                size,
-                f"{raft_summary.mean:.0f}",
-                f"{escape_summary.mean:.0f}",
-                f"{result.reduction_for(size):.1f}%",
-                f"{raft_summary.maximum:.0f}",
-                f"{escape_summary.maximum:.0f}",
-                f"{100 * raft.split_vote_fraction():.1f}%",
-                f"{100 * escape.split_vote_fraction():.1f}%",
-            ]
-        )
+        summaries = {
+            protocol: summarize(result.measurements_for(protocol, size).totals_ms())
+            for protocol in result.protocols
+        }
+        row: list[object] = [size]
+        row += [f"{summaries[protocol].mean:.0f}" for protocol in result.protocols]
+        if with_reduction:
+            row.append(f"{result.reduction_for(size):.1f}%")
+        row += [f"{summaries[protocol].maximum:.0f}" for protocol in result.protocols]
+        row += [
+            f"{100 * result.measurements_for(protocol, size).split_vote_fraction():.1f}%"
+            for protocol in result.protocols
+        ]
+        rows.append(row)
     return render_table(
-        headers=[
-            "servers",
-            "Raft mean (ms)",
-            "ESCAPE mean (ms)",
-            "reduction",
-            "Raft max (ms)",
-            "ESCAPE max (ms)",
-            "Raft split votes",
-            "ESCAPE split votes",
-        ],
+        headers=headers,
         rows=rows,
         title=(
             "Figure 9 — leader election time vs cluster size "

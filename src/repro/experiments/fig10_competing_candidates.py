@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import protocols as protocol_registry
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
 from repro.metrics.records import MeasurementSet
@@ -30,7 +31,8 @@ PAPER_SIZES: tuple[int, ...] = (8, 16, 32, 64, 128)
 #: Numbers of forced competing-candidate phases.
 PAPER_PHASES: tuple[int, ...] = (0, 1, 2, 3)
 
-PROTOCOLS: tuple[str, ...] = ("raft", "escape")
+#: The protocols compared in Figure 10 (validated against the registry).
+PROTOCOLS: tuple[str, ...] = protocol_registry.RAFT_VS_ESCAPE
 
 
 @dataclass(frozen=True)
@@ -41,6 +43,7 @@ class CompetingCandidatesResult:
     phases: tuple[int, ...]
     runs: int
     by_label: Mapping[str, MeasurementSet]
+    protocols: tuple[str, ...] = PROTOCOLS
 
     def measurements_for(self, protocol: str, size: int, phases: int) -> MeasurementSet:
         """Measurements for one cell of Figure 10."""
@@ -108,46 +111,50 @@ def run(
         scenarios, runs=runs, seed=seed, progress=progress, workers=workers
     )
     return CompetingCandidatesResult(
-        sizes=tuple(sizes), phases=tuple(phases), runs=runs, by_label=by_label
+        sizes=tuple(sizes),
+        phases=tuple(phases),
+        runs=runs,
+        by_label=by_label,
+        protocols=tuple(protocols),
     )
 
 
 def report(result: CompetingCandidatesResult) -> str:
-    """Render detection/election breakdown per (size, phases) cell."""
+    """Render detection/election breakdown per (size, phases) cell.
+
+    Columns adapt to the protocols actually swept (display labels come from
+    the protocol registry); the reduction column only appears when both Raft
+    and ESCAPE are present.
+    """
+    with_reduction = {"raft", "escape"} <= set(result.protocols)
+    headers: list[str] = ["servers", "C.C. phases"]
+    for protocol in result.protocols:
+        label = protocol_registry.title(protocol)
+        headers += [
+            f"{label} detect (ms)",
+            f"{label} elect (ms)",
+            f"{label} total (ms)",
+        ]
+    if with_reduction:
+        headers.append("reduction")
     rows = []
     for size in result.sizes:
         for phase_count in result.phases:
-            raft_detection, raft_election = result.detection_election_for(
-                "raft", size, phase_count
-            )
-            escape_detection, escape_election = result.detection_election_for(
-                "escape", size, phase_count
-            )
-            rows.append(
-                [
-                    size,
-                    phase_count,
-                    f"{raft_detection:.0f}",
-                    f"{raft_election:.0f}",
-                    f"{result.average_for('raft', size, phase_count):.0f}",
-                    f"{escape_detection:.0f}",
-                    f"{escape_election:.0f}",
-                    f"{result.average_for('escape', size, phase_count):.0f}",
-                    f"{result.reduction_for(size, phase_count):.1f}%",
+            row: list[object] = [size, phase_count]
+            for protocol in result.protocols:
+                detection, election = result.detection_election_for(
+                    protocol, size, phase_count
+                )
+                row += [
+                    f"{detection:.0f}",
+                    f"{election:.0f}",
+                    f"{result.average_for(protocol, size, phase_count):.0f}",
                 ]
-            )
+            if with_reduction:
+                row.append(f"{result.reduction_for(size, phase_count):.1f}%")
+            rows.append(row)
     return render_table(
-        headers=[
-            "servers",
-            "C.C. phases",
-            "Raft detect (ms)",
-            "Raft elect (ms)",
-            "Raft total (ms)",
-            "ESCAPE detect (ms)",
-            "ESCAPE elect (ms)",
-            "ESCAPE total (ms)",
-            "reduction",
-        ],
+        headers=headers,
         rows=rows,
         title=(
             "Figure 10 — election time under forced competing-candidate phases "

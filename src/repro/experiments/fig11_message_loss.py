@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import protocols as protocol_registry
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
 from repro.metrics.records import MeasurementSet
@@ -30,8 +31,8 @@ PAPER_SIZES: tuple[int, ...] = (10, 50, 100)
 #: Broadcast loss rates Δ evaluated by the paper.
 PAPER_LOSS_RATES: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4)
 
-#: The protocols compared in Figure 11.
-PROTOCOLS: tuple[str, ...] = ("raft", "zraft", "escape")
+#: The protocols compared in Figure 11 (validated against the registry).
+PROTOCOLS: tuple[str, ...] = protocol_registry.PAPER_PROTOCOLS
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,7 @@ class MessageLossResult:
     loss_rates: tuple[float, ...]
     runs: int
     by_label: Mapping[str, MeasurementSet]
+    protocols: tuple[str, ...] = PROTOCOLS
 
     def measurements_for(
         self, protocol: str, size: int, loss_rate: float
@@ -106,30 +108,41 @@ def run(
         loss_rates=tuple(loss_rates),
         runs=runs,
         by_label=by_label,
+        protocols=tuple(protocols),
     )
 
 
 def report(result: MessageLossResult) -> str:
-    """Render averages for every protocol per (size, loss) cell."""
+    """Render averages for every protocol per (size, loss) cell.
+
+    Columns adapt to the protocols actually swept (the historical hardcoded
+    raft/zraft/escape triple lives in the registry-backed ``PROTOCOLS``
+    default now); reduction-vs-Raft columns appear for every other protocol
+    when Raft is part of the sweep.
+    """
+    labels = {
+        protocol: protocol_registry.title(protocol)
+        for protocol in result.protocols
+    }
+    compared = [
+        protocol for protocol in result.protocols if protocol != "raft"
+    ] if "raft" in result.protocols else []
+    headers = ["servers", "loss Δ"]
+    headers += [f"{labels[protocol]} (ms)" for protocol in result.protocols]
+    headers += [f"{labels[protocol]} vs Raft" for protocol in compared]
     rows = []
     for size in result.sizes:
         for loss_rate in result.loss_rates:
-            row = [size, f"{loss_rate * 100:.0f}%"]
-            for protocol in ("raft", "zraft", "escape"):
+            row: list[object] = [size, f"{loss_rate * 100:.0f}%"]
+            for protocol in result.protocols:
                 row.append(f"{result.average_for(protocol, size, loss_rate):.0f}")
-            row.append(f"{result.reduction_vs_raft('zraft', size, loss_rate):.1f}%")
-            row.append(f"{result.reduction_vs_raft('escape', size, loss_rate):.1f}%")
+            for protocol in compared:
+                row.append(
+                    f"{result.reduction_vs_raft(protocol, size, loss_rate):.1f}%"
+                )
             rows.append(row)
     return render_table(
-        headers=[
-            "servers",
-            "loss Δ",
-            "Raft (ms)",
-            "Z-Raft (ms)",
-            "ESCAPE (ms)",
-            "Z-Raft vs Raft",
-            "ESCAPE vs Raft",
-        ],
+        headers=headers,
         rows=rows,
         title=(
             "Figure 11 — leader election time under broadcast message loss "

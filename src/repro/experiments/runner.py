@@ -28,10 +28,12 @@ import sys
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro import protocols
 from repro.cluster.scenarios import ElectionScenario
 from repro.common.errors import SweepError
 from repro.experiments.base import ProgressCallback, paired_seeds
 from repro.metrics.records import ElectionMeasurement, MeasurementSet
+from repro.protocols import ProtocolSpec
 
 __all__ = ["SweepItem", "build_work_items", "resolve_workers", "run_sweep"]
 
@@ -78,6 +80,40 @@ def _execute_item(
         return item.label, item.index, item.scenario.run(item.seed), None
     except Exception as exc:  # noqa: BLE001 - re-raised as SweepError in parent
         return item.label, item.index, None, f"{type(exc).__name__}: {exc}"
+
+
+def _swept_specs(scenarios: Mapping[str, ElectionScenario]) -> tuple[ProtocolSpec, ...]:
+    """The protocol specs the sweep's scenarios resolve to (deduplicated).
+
+    Duck-typed scenario stubs (the runner's tests use them) may carry no
+    ``protocol`` at all, and only names the parent actually has registered
+    can be shipped -- anything else fails in the worker exactly as it would
+    have in the parent.
+    """
+    names = {
+        getattr(scenario, "protocol", None) for scenario in scenarios.values()
+    }
+    return tuple(
+        protocols.get(name)
+        for name in sorted(name for name in names if name is not None)
+        if protocols.is_registered(name)
+    )
+
+
+def _register_worker_specs(specs: tuple[ProtocolSpec, ...]) -> None:
+    """Pool initializer: mirror the parent's protocol registrations.
+
+    ``spawn`` workers re-import :mod:`repro.protocols` and therefore only see
+    the built-in registrations; any custom spec the parent registered would
+    make ``build_cluster`` fail with "unknown protocol" inside the worker.
+    Specs pickle by reference, so shipping them through the initializer keeps
+    registry-driven sweeps working on every start method.  Registration uses
+    ``replace=True`` so a built-in the parent *replaced* is mirrored too
+    (under ``fork`` the worker inherits the parent registry and this is a
+    no-op).
+    """
+    for spec in specs:
+        protocols.register(spec, replace=True)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext | None:
@@ -194,7 +230,11 @@ def run_sweep(
             accounting.record(item.label, item.index, measurement, None)
         return accounting.results()
 
-    with context.Pool(processes=min(workers, len(items))) as pool:
+    with context.Pool(
+        processes=min(workers, len(items)),
+        initializer=_register_worker_specs,
+        initargs=(_swept_specs(scenarios),),
+    ) as pool:
         for outcome in pool.imap_unordered(
             _execute_item, items, chunksize=_chunk_size(len(items), workers)
         ):

@@ -12,31 +12,28 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
+from repro import protocols
 from repro.common.config import ClusterConfig, ProtocolConfig, RaftTimeoutConfig, ScaParameters
-from repro.common.errors import ClusterError, ConfigurationError
+from repro.common.errors import ClusterError
 from repro.common.rng import SeedSequence
 from repro.common.types import Milliseconds, ServerId
-from repro.escape.node import EscapeNode
 from repro.raft.node import RaftNode
 from repro.raft.state import Role
 from repro.runtime.environment import AsyncNodeEnvironment
 from repro.runtime.transport import UdpJsonTransport
 from repro.statemachine.kvstore import KeyValueStore
 from repro.storage.persistent import InMemoryStore
-from repro.zraft.node import ZRaftNode
-
-_NODE_CLASSES: dict[str, type[RaftNode]] = {
-    "raft": RaftNode,
-    "escape": EscapeNode,
-    "zraft": ZRaftNode,
-}
 
 
 class LocalAsyncCluster:
-    """A Raft/ESCAPE/Z-Raft cluster running live on localhost UDP.
+    """A consensus cluster running live on localhost UDP.
+
+    Node construction goes through the same protocol registry
+    (:mod:`repro.protocols`) as the simulated builder, so the two runtimes
+    provably build identical nodes for a given protocol name.
 
     Args:
-        protocol: ``"raft"``, ``"escape"`` or ``"zraft"``.
+        protocol: any name registered in :mod:`repro.protocols`.
         size: number of servers.
         base_port: UDP port of ``S1``; ``S<i>`` binds ``base_port + i - 1``.
         seed: seed for every node's private random stream.
@@ -61,9 +58,8 @@ class LocalAsyncCluster:
         latency_range_ms: tuple[Milliseconds, Milliseconds] | None = None,
         loss_rate: float = 0.0,
     ) -> None:
-        if protocol not in _NODE_CLASSES:
-            raise ConfigurationError(f"unknown protocol {protocol!r}")
-        self.protocol = protocol
+        self.spec = protocols.get(protocol)
+        self.protocol = self.spec.name
         self.config = ClusterConfig.of_size(size)
         self._seed = seed
         self._protocol_config = ProtocolConfig(
@@ -114,8 +110,7 @@ class LocalAsyncCluster:
                 rng=seeds.stream("node", server_id),
                 trace_log=self.trace_log,
             )
-            node_class = _NODE_CLASSES[self.protocol]
-            node = node_class(
+            node = self.spec.build_node(
                 node_id=server_id,
                 cluster=self.config,
                 env=env,

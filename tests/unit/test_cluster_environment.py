@@ -67,8 +67,10 @@ class TestSimNodeEnvironment:
 
 class TestPackageSurface:
     def test_top_level_exports_are_importable(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
         assert repro.RaftNode.protocol_name == "raft"
         assert repro.EscapeNode.protocol_name == "escape"
         assert repro.ZRaftNode.protocol_name == "zraft"
+        assert repro.EscapeNoPpfNode.protocol_name == "escape-noppf"
+        assert repro.protocols.get("escape").node_class is repro.EscapeNode
         assert repro.ClusterConfig.of_size(3).quorum_size == 2

@@ -17,7 +17,12 @@ from repro.experiments import (
     fig10_competing_candidates,
     fig11_message_loss,
 )
-from repro.experiments.__main__ import EXPERIMENTS, SCENARIO_AWARE, build_parser
+from repro.experiments.__main__ import (
+    EXPERIMENTS,
+    PROTOCOL_AWARE,
+    SCENARIO_AWARE,
+    build_parser,
+)
 from repro.experiments.base import flatten_sets, paired_seeds, run_scenario_set
 from repro.cluster.scenarios import ElectionScenario
 
@@ -230,3 +235,28 @@ class TestCli:
     def test_scenario_aware_experiments_exist(self):
         assert SCENARIO_AWARE <= set(EXPERIMENTS)
         assert "wan" in SCENARIO_AWARE
+
+    def test_protocols_option_accepts_registered_names(self):
+        parser = build_parser()
+        args = parser.parse_args(["wan", "--protocols", "raft-stagger,escape-noppf"])
+        assert args.protocols == ("raft-stagger", "escape-noppf")
+        with pytest.raises(SystemExit):
+            parser.parse_args(["wan", "--protocols", "raft,paxos"])
+
+    def test_protocols_option_rejects_liveness_free_protocols(self):
+        # raft-fixed livelocks by design; a sweep over it can only abort.
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["wan", "--protocols", "raft-fixed,escape"])
+
+    def test_protocol_aware_experiments_exist(self):
+        assert PROTOCOL_AWARE <= set(EXPERIMENTS)
+        assert {"fig9", "fig10", "fig11", "wan", "ablation-ppf"} == PROTOCOL_AWARE
+
+    def test_default_protocols_come_from_the_registry(self):
+        from repro import protocols as protocol_registry
+
+        assert fig09_scale.PROTOCOLS == protocol_registry.RAFT_VS_ESCAPE
+        assert fig11_message_loss.PROTOCOLS == protocol_registry.PAPER_PROTOCOLS
+        assert exp_wan.PROTOCOLS == protocol_registry.PAPER_PROTOCOLS
+        assert "escape-noppf" in ablation_ppf.PROTOCOLS
