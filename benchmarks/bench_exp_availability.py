@@ -1,0 +1,54 @@
+"""Benchmark: the steady-state availability experiment (chaos plans).
+
+Runs the ``avail`` sweep of :mod:`repro.experiments.exp_availability` -- the
+paper's implied but never-measured end-to-end claim that faster elections buy
+uptime -- under the repeated-leader-kill plan, and prints the per-protocol
+availability table.  With ``REPRO_BENCH_FULL=1`` every catalog chaos plan is
+swept over the full two-minute horizon, exercising the whole chaos subsystem
+through the parallel sweep engine.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.plans import plan_names
+from repro.experiments import exp_availability
+
+
+def test_availability_chaos_sweep(benchmark, bench_runs, full_grids, bench_workers):
+    plans = plan_names() if full_grids else (exp_availability.DEFAULT_PLAN,)
+    horizon_ms = 120_000.0 if full_grids else 45_000.0
+
+    def run_sweep():
+        return [
+            exp_availability.run(
+                runs=bench_runs,
+                seed=13,
+                plan=plan,
+                horizon_ms=horizon_ms,
+                workers=bench_workers,
+            )
+            for plan in plans
+        ]
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    for result in results:
+        print(exp_availability.report(result))
+        print()
+
+    for result in results:
+        benchmark.extra_info[f"downtime_saved_{result.plan.name}"] = round(
+            result.downtime_saved_vs_raft("escape"), 2
+        )
+
+    # Aggregated over the plans, with one stray run of slack so a reduced-run
+    # sample cannot fail by chance: ESCAPE never spends more of the horizon
+    # leaderless than Raft -- steady-state availability is the end-to-end
+    # quantity its faster elections are supposed to buy.
+    raft_down = sum(
+        result.set_for("raft").mean_unavailability() for result in results
+    )
+    escape_down = sum(
+        result.set_for("escape").mean_unavailability() for result in results
+    )
+    assert escape_down <= raft_down + 1.0 / bench_runs

@@ -139,8 +139,18 @@ class ElectionScenario:
     # ------------------------------------------------------------------ #
     # Running
     # ------------------------------------------------------------------ #
-    def build(self, seed: int) -> tuple[SimulatedCluster, ElectionHarness]:
-        """Build (but do not run) the cluster and harness for one episode."""
+    def build(
+        self, seed: int, extra_listeners: tuple = ()
+    ) -> tuple[SimulatedCluster, ElectionHarness]:
+        """Build (but do not run) the cluster and harness for one episode.
+
+        Args:
+            seed: root seed of the episode.
+            extra_listeners: additional node listeners attached to every node
+                alongside the harness's :class:`ElectionObserver` (the chaos
+                layer attaches its :class:`~repro.chaos.AvailabilityObserver`
+                this way).
+        """
         if self.contention_phases < 0:
             raise ConfigurationError("contention_phases must be >= 0")
         observer = ElectionObserver()
@@ -153,7 +163,7 @@ class ElectionScenario:
             latency=self.latency_model(),
             fault=self.fault_injector(),
             protocol_config=self.protocol_config(),
-            listeners=(observer,),
+            listeners=(observer, *extra_listeners),
             timeout_policy_factory=timeout_policy_factory,
             timeout_override_factory=override_factory,
             trace=self.trace,

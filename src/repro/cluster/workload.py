@@ -18,21 +18,36 @@ from repro.statemachine.kvstore import PutCommand
 
 
 class ClientWorkload:
-    """Proposes commands on the current leader at a fixed interval."""
+    """Proposes commands on the current leader at a fixed interval.
+
+    Args:
+        cluster: the cluster under test.
+        interval_ms: proposal period.
+        command_factory: builds the proposed command from a sequence number.
+        leader_selector: how the client finds the leader each tick; defaults
+            to the cluster's global leader view.  The chaos availability
+            scenario passes a quorum-aware selector so that ticks during a
+            partition (when only a stale, commit-incapable leader exists)
+            count as dropped instead of landing on a leader that can never
+            acknowledge them.
+    """
 
     def __init__(
         self,
         cluster: SimulatedCluster,
         interval_ms: Milliseconds = 50.0,
         command_factory: Callable[[int], object] | None = None,
+        leader_selector: Callable[[], object] | None = None,
     ) -> None:
         self._cluster = cluster
         self._interval_ms = interval_ms
         self._command_factory = command_factory or self._default_command
+        self._leader_selector = leader_selector or cluster.leader
         self._sequence = 0
         self._active = False
         self.proposed = 0
         self.rejected = 0
+        self.dropped = 0
 
     @staticmethod
     def _default_command(sequence: int) -> object:
@@ -62,8 +77,13 @@ class ClientWorkload:
     def _tick(self) -> None:
         if not self._active:
             return
-        leader = self._cluster.leader()
-        if leader is not None:
+        leader = self._leader_selector()
+        if leader is None:
+            # No leader to talk to: the request is lost at the client.  The
+            # availability experiment reads this counter as the client-side
+            # view of every leaderless interval.
+            self.dropped += 1
+        else:
             command = self._command_factory(self._sequence)
             self._sequence += 1
             try:

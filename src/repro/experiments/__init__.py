@@ -28,16 +28,20 @@ Module                                      Paper artefact
 :mod:`repro.experiments.ablation_ppf`               Ablation: SCA without PPF under churn
 :mod:`repro.experiments.ablation_k_sweep`           Ablation: Eq. 1 priority gap ``k``
 :mod:`repro.experiments.exp_wan`                    WAN region splits (Section II-B scenario)
+:mod:`repro.experiments.exp_availability`           Steady-state availability under chaos plans
 ==========================================  =========================================
 
 The WAN experiment additionally accepts any named network condition from
-:mod:`repro.cluster.catalog` (CLI: ``--scenario NAME``).
+:mod:`repro.cluster.catalog` (CLI: ``--scenario NAME``); the availability
+experiment accepts both a network condition and a named chaos plan from
+:data:`repro.chaos.plans.CHAOS_CATALOG` (CLI: ``--plan NAME``).
 """
 
 from repro.experiments import (
     ablation_k_sweep,
     ablation_ppf,
     adapter_redis,
+    exp_availability,
     exp_wan,
     fig03_randomization,
     fig04_randomization_average,
@@ -50,6 +54,7 @@ __all__ = [
     "ablation_k_sweep",
     "ablation_ppf",
     "adapter_redis",
+    "exp_availability",
     "exp_wan",
     "fig03_randomization",
     "fig04_randomization_average",

@@ -6,17 +6,20 @@ Usage::
     python -m repro.experiments fig11 --runs 1000 --workers 0   # paper-scale sweep
     python -m repro.experiments wan --scenario chaos-composite  # catalog condition
     python -m repro.experiments wan --protocols raft-stagger,escape-noppf,escape
+    python -m repro.experiments avail --plan partition-flap     # chaos plan
     python -m repro.experiments all --runs 20                   # quick smoke pass
 
 ``--workers N`` fans the episodes of a sweep out over N processes
 (``--workers 0`` uses every CPU); results are bit-for-bit identical to a
 sequential run with the same seed.  ``--scenario NAME`` (experiments that
-support it: ``wan``) selects a single named network condition from
+support it: ``wan``, ``avail``) selects a single named network condition from
 :mod:`repro.cluster.catalog` instead of the experiment's default grid.
 ``--protocols a,b,c`` replaces a protocol-aware experiment's default
 comparison with any protocols registered in :mod:`repro.protocols` (unknown
 names are rejected with the list of registered ones; so are protocols that
 do not guarantee leader election, since every sweep must stabilise one).
+``--plan NAME`` (``avail`` only) selects the chaos fault timeline from
+:data:`repro.chaos.plans.CHAOS_CATALOG`.
 
 Every experiment prints the same rows/series the corresponding paper figure
 plots; see EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -31,11 +34,13 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro import protocols as protocol_registry
+from repro.chaos.plans import plan_names
 from repro.cluster.catalog import condition_names
 from repro.experiments import (
     ablation_k_sweep,
     ablation_ppf,
     adapter_redis,
+    exp_availability,
     exp_wan,
     fig03_randomization,
     fig04_randomization_average,
@@ -56,6 +61,7 @@ class RunRequest:
     workers: int | None
     scenario: str | None = None
     protocols: tuple[str, ...] | None = None
+    plan: str | None = None
 
     @property
     def progress(self):
@@ -171,6 +177,25 @@ def _run_wan(request: RunRequest) -> str:
     return exp_wan.report(result)
 
 
+def _run_avail(request: RunRequest) -> str:
+    horizon = (
+        exp_availability.QUICK_HORIZON_MS
+        if request.quick
+        else exp_availability.DEFAULT_HORIZON_MS
+    )
+    result = exp_availability.run(
+        runs=request.runs,
+        seed=request.seed,
+        plan=request.plan or exp_availability.DEFAULT_PLAN,
+        protocols=request.protocols or exp_availability.PROTOCOLS,
+        horizon_ms=horizon,
+        condition=request.scenario,
+        progress=request.progress,
+        workers=request.workers,
+    )
+    return exp_availability.report(result)
+
+
 EXPERIMENTS: dict[str, ExperimentRunner] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
@@ -178,18 +203,22 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "fig10": _run_fig10,
     "fig11": _run_fig11,
     "wan": _run_wan,
+    "avail": _run_avail,
     "ablation-ppf": _run_ablation_ppf,
     "ablation-k": _run_ablation_k,
     "adapter-redis": _run_adapter_redis,
 }
 
 #: Experiments that understand the ``--scenario`` catalog-condition override.
-SCENARIO_AWARE: frozenset[str] = frozenset({"wan"})
+SCENARIO_AWARE: frozenset[str] = frozenset({"wan", "avail"})
 
 #: Experiments that understand the ``--protocols`` registry override.
 PROTOCOL_AWARE: frozenset[str] = frozenset(
-    {"fig9", "fig10", "fig11", "wan", "ablation-ppf"}
+    {"fig9", "fig10", "fig11", "wan", "avail", "ablation-ppf"}
 )
+
+#: Experiments that understand the ``--plan`` chaos-catalog override.
+PLAN_AWARE: frozenset[str] = frozenset({"avail"})
 
 
 def _worker_count(value: str) -> int:
@@ -282,6 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
             f"{', '.join(sorted(PROTOCOL_AWARE))})"
         ),
     )
+    parser.add_argument(
+        "--plan",
+        choices=plan_names(),
+        default=None,
+        help=(
+            "run under a named chaos plan from the chaos catalog "
+            f"(supported by: {', '.join(sorted(PLAN_AWARE))})"
+        ),
+    )
     return parser
 
 
@@ -304,6 +342,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"--protocols is not supported by: {', '.join(unsupported)} "
                 f"(supported: {', '.join(sorted(PROTOCOL_AWARE))})"
             )
+    if args.plan is not None:
+        unsupported = [name for name in names if name not in PLAN_AWARE]
+        if unsupported:
+            parser.error(
+                f"--plan is not supported by: {', '.join(unsupported)} "
+                f"(supported: {', '.join(sorted(PLAN_AWARE))})"
+            )
     request = RunRequest(
         runs=args.runs,
         seed=args.seed,
@@ -311,12 +356,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         workers=None if args.workers == 0 else args.workers,
         scenario=args.scenario,
         protocols=args.protocols,
+        plan=args.plan,
     )
     for name in names:
         started = time.perf_counter()
         scenario_note = f", scenario={args.scenario}" if args.scenario else ""
         if args.protocols:
             scenario_note += f", protocols={','.join(args.protocols)}"
+        if args.plan:
+            scenario_note += f", plan={args.plan}"
         print(
             f"== {name} (runs={args.runs}, seed={args.seed}, "
             f"workers={args.workers or 'auto'}{scenario_note}) ==",

@@ -28,6 +28,7 @@ def run_scenario_set(
     seed: int = 0,
     progress: ProgressCallback | None = None,
     workers: int | None = 1,
+    set_factory=MeasurementSet,
 ) -> dict[str, MeasurementSet]:
     """Run every scenario *runs* times and collect the measurements.
 
@@ -40,11 +41,19 @@ def run_scenario_set(
     :mod:`repro.experiments.runner`: ``workers=1`` runs in-process exactly
     like the historical sequential loop, ``workers > 1`` fans the episodes
     out over a process pool with bit-for-bit identical results, and
-    ``workers=None`` uses one worker per CPU.
+    ``workers=None`` uses one worker per CPU.  *set_factory* chooses the
+    per-label result container (see :data:`repro.experiments.runner.SetFactory`).
     """
     from repro.experiments.runner import run_sweep
 
-    return run_sweep(scenarios, runs=runs, seed=seed, progress=progress, workers=workers)
+    return run_sweep(
+        scenarios,
+        runs=runs,
+        seed=seed,
+        progress=progress,
+        workers=workers,
+        set_factory=set_factory,
+    )
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,12 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.common.errors import ConfigurationError
-from repro.metrics.records import ElectionMeasurement, MeasurementSet
+from repro.metrics.records import (
+    AvailabilityMeasurement,
+    AvailabilitySet,
+    ElectionMeasurement,
+    MeasurementSet,
+)
 
 #: Column order of the per-run CSV export.
 CSV_FIELDS = (
@@ -122,3 +127,178 @@ def read_summary_json(path: str | Path) -> dict[str, object]:
     if not source.exists():
         raise ConfigurationError(f"no such summary file: {source}")
     return json.loads(source.read_text())
+
+
+# --------------------------------------------------------------------------- #
+# Availability records (the chaos `avail` experiment)
+# --------------------------------------------------------------------------- #
+#: Column order of the per-run availability CSV export.
+AVAILABILITY_CSV_FIELDS = (
+    "label",
+    "protocol",
+    "cluster_size",
+    "seed",
+    "plan",
+    "start_ms",
+    "end_ms",
+    "available_ms",
+    "leaderless_ms",
+    "unavailability",
+    "disruption_count",
+    "skipped_disruptions",
+    "outage_count",
+    "mean_recovery_ms",
+    "max_recovery_ms",
+    "proposals_proposed",
+    "proposals_dropped",
+)
+
+
+def availability_to_row(
+    measurement: AvailabilityMeasurement, label: str = ""
+) -> dict[str, object]:
+    """Flatten one availability measurement into a CSV-friendly dict.
+
+    The per-outage interval list does not fit a flat row; use the JSON writer
+    for a lossless export.
+    """
+    mean_recovery = measurement.mean_recovery_ms
+    max_recovery = measurement.max_recovery_ms
+    return {
+        "label": label,
+        "protocol": measurement.protocol,
+        "cluster_size": measurement.cluster_size,
+        "seed": measurement.seed,
+        "plan": measurement.plan,
+        "start_ms": round(measurement.start_ms, 3),
+        "end_ms": round(measurement.end_ms, 3),
+        "available_ms": round(measurement.available_ms, 3),
+        "leaderless_ms": round(measurement.leaderless_ms, 3),
+        "unavailability": round(measurement.unavailability, 6),
+        "disruption_count": measurement.disruption_count,
+        "skipped_disruptions": measurement.skipped_disruptions,
+        "outage_count": measurement.outage_count,
+        "mean_recovery_ms": (
+            round(mean_recovery, 3) if mean_recovery is not None else None
+        ),
+        "max_recovery_ms": (
+            round(max_recovery, 3) if max_recovery is not None else None
+        ),
+        "proposals_proposed": measurement.proposals_proposed,
+        "proposals_dropped": measurement.proposals_dropped,
+    }
+
+
+def write_availability_csv(
+    path: str | Path,
+    availability_sets: Mapping[str, AvailabilitySet]
+    | Mapping[str, Iterable[AvailabilityMeasurement]],
+) -> Path:
+    """Write every per-run availability measurement of a sweep to one CSV."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=AVAILABILITY_CSV_FIELDS)
+        writer.writeheader()
+        for label, measurements in availability_sets.items():
+            for measurement in measurements:
+                writer.writerow(availability_to_row(measurement, label))
+    return destination
+
+
+def read_availability_csv(path: str | Path) -> list[dict[str, object]]:
+    """Read back a CSV produced by :func:`write_availability_csv`."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no such results file: {source}")
+    with source.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def _availability_to_json(measurement: AvailabilityMeasurement) -> dict[str, object]:
+    return {
+        "protocol": measurement.protocol,
+        "cluster_size": measurement.cluster_size,
+        "seed": measurement.seed,
+        "plan": measurement.plan,
+        "start_ms": measurement.start_ms,
+        "end_ms": measurement.end_ms,
+        "available_ms": measurement.available_ms,
+        "leaderless_ms": measurement.leaderless_ms,
+        "unavailability": measurement.unavailability,
+        "disruption_count": measurement.disruption_count,
+        "skipped_disruptions": measurement.skipped_disruptions,
+        "outage_count": measurement.outage_count,
+        "recovery_ms": list(measurement.recovery_ms),
+        "proposals_proposed": measurement.proposals_proposed,
+        "proposals_dropped": measurement.proposals_dropped,
+        "leaderless_intervals": [list(pair) for pair in measurement.leaderless_intervals],
+        "extra": dict(measurement.extra),
+    }
+
+
+def _availability_from_json(payload: Mapping[str, object]) -> AvailabilityMeasurement:
+    return AvailabilityMeasurement(
+        protocol=str(payload["protocol"]),
+        cluster_size=int(payload["cluster_size"]),  # type: ignore[arg-type]
+        seed=int(payload["seed"]),  # type: ignore[arg-type]
+        plan=str(payload["plan"]),
+        start_ms=float(payload["start_ms"]),  # type: ignore[arg-type]
+        end_ms=float(payload["end_ms"]),  # type: ignore[arg-type]
+        available_ms=float(payload["available_ms"]),  # type: ignore[arg-type]
+        leaderless_ms=float(payload["leaderless_ms"]),  # type: ignore[arg-type]
+        unavailability=float(payload["unavailability"]),  # type: ignore[arg-type]
+        disruption_count=int(payload["disruption_count"]),  # type: ignore[arg-type]
+        skipped_disruptions=int(payload["skipped_disruptions"]),  # type: ignore[arg-type]
+        outage_count=int(payload["outage_count"]),  # type: ignore[arg-type]
+        recovery_ms=tuple(payload["recovery_ms"]),  # type: ignore[arg-type]
+        proposals_proposed=int(payload["proposals_proposed"]),  # type: ignore[arg-type]
+        proposals_dropped=int(payload["proposals_dropped"]),  # type: ignore[arg-type]
+        leaderless_intervals=tuple(
+            (float(start), float(end))
+            for start, end in payload["leaderless_intervals"]  # type: ignore[union-attr]
+        ),
+        extra=dict(payload["extra"]),  # type: ignore[arg-type]
+    )
+
+
+def write_availability_json(
+    path: str | Path,
+    availability_sets: Mapping[str, AvailabilitySet]
+    | Mapping[str, Iterable[AvailabilityMeasurement]],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write every availability measurement, losslessly, to a JSON file.
+
+    Unlike the CSV flattening this keeps the raw per-outage intervals and
+    recovery latencies, so :func:`read_availability_json` reconstructs the
+    original :class:`AvailabilityMeasurement` records exactly (floats
+    round-trip via JSON's double precision).
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, object] = {
+        "metadata": dict(metadata or {}),
+        "cells": {
+            label: [_availability_to_json(m) for m in measurements]
+            for label, measurements in availability_sets.items()
+        },
+    }
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return destination
+
+
+def read_availability_json(
+    path: str | Path,
+) -> dict[str, AvailabilitySet]:
+    """Read a JSON availability export back into per-label sets."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no such results file: {source}")
+    payload = json.loads(source.read_text())
+    return {
+        label: AvailabilitySet(
+            (_availability_from_json(entry) for entry in entries), label=label
+        )
+        for label, entries in payload["cells"].items()
+    }

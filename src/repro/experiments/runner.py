@@ -26,7 +26,7 @@ import multiprocessing
 import os
 import sys
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro import protocols
 from repro.cluster.scenarios import ElectionScenario
@@ -35,7 +35,19 @@ from repro.experiments.base import ProgressCallback, paired_seeds
 from repro.metrics.records import ElectionMeasurement, MeasurementSet
 from repro.protocols import ProtocolSpec
 
-__all__ = ["SweepItem", "build_work_items", "resolve_workers", "run_sweep"]
+__all__ = [
+    "SetFactory",
+    "SweepItem",
+    "build_work_items",
+    "resolve_workers",
+    "run_sweep",
+]
+
+#: Builds one per-label result container from ``(measurements, label)``.
+#: :class:`MeasurementSet` fits election sweeps; the availability experiment
+#: passes :class:`~repro.metrics.records.AvailabilitySet` so its records land
+#: in a container whose API actually matches them.
+SetFactory = Callable[[Iterable, str], object]
 
 
 @dataclass(frozen=True)
@@ -145,9 +157,11 @@ class _SweepAccounting:
         scenarios: Mapping[str, ElectionScenario],
         runs: int,
         progress: ProgressCallback | None,
+        set_factory: SetFactory = MeasurementSet,
     ) -> None:
         self._runs = runs
         self._progress = progress
+        self._set_factory = set_factory
         self._slots: dict[str, list[ElectionMeasurement | None]] = {
             label: [None] * runs for label in scenarios
         }
@@ -176,7 +190,7 @@ class _SweepAccounting:
                     f"scenario {label!r} lost runs {missing}; "
                     "a worker probably died without reporting"
                 )
-            sets[label] = MeasurementSet(slots, label=label)
+            sets[label] = self._set_factory(slots, label)
         return sets
 
 
@@ -191,6 +205,7 @@ def run_sweep(
     seed: int = 0,
     progress: ProgressCallback | None = None,
     workers: int | None = 1,
+    set_factory: SetFactory = MeasurementSet,
 ) -> dict[str, MeasurementSet]:
     """Run every scenario *runs* times, fanned out over *workers* processes.
 
@@ -205,14 +220,18 @@ def run_sweep(
             completion-ordered when ``workers > 1``.
         workers: process count; ``1`` runs in-process, ``None`` uses one
             worker per CPU.
+        set_factory: builds each per-label container from ``(measurements,
+            label)``; scenarios whose ``run(seed)`` returns something other
+            than an :class:`ElectionMeasurement` pass a matching container
+            (the availability experiment passes ``AvailabilitySet``).
 
     Returns:
-        One :class:`MeasurementSet` per scenario label, with measurements in
-        run-index order -- identical contents for every worker count.
+        One container per scenario label, with measurements in run-index
+        order -- identical contents for every worker count.
     """
     workers = resolve_workers(workers)
     items = build_work_items(scenarios, runs, seed)
-    accounting = _SweepAccounting(scenarios, runs, progress)
+    accounting = _SweepAccounting(scenarios, runs, progress, set_factory)
     context = _pool_context() if workers > 1 and len(items) > 1 else None
 
     if context is None:

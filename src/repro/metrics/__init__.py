@@ -6,7 +6,12 @@ turns collections of measurements into the CDFs, averages and comparison
 tables that the paper's figures report.
 """
 
-from repro.metrics.records import ElectionMeasurement, MeasurementSet
+from repro.metrics.records import (
+    AvailabilityMeasurement,
+    AvailabilitySet,
+    ElectionMeasurement,
+    MeasurementSet,
+)
 from repro.metrics.stats import (
     cumulative_distribution,
     percentile,
@@ -17,6 +22,8 @@ from repro.metrics.stats import (
 from repro.metrics.tables import render_comparison_table, render_table
 
 __all__ = [
+    "AvailabilityMeasurement",
+    "AvailabilitySet",
     "ElectionMeasurement",
     "MeasurementSet",
     "SummaryStatistics",

@@ -39,6 +39,148 @@ class ElectionMeasurement:
             raise ClusterError("a converged measurement must name the winner")
 
 
+@dataclass(frozen=True)
+class AvailabilityMeasurement:
+    """Everything measured about one chaos-disrupted availability window.
+
+    Where :class:`ElectionMeasurement` decomposes a *single* crash →
+    re-election episode, this record summarises a *long horizon* under a
+    chaos plan: how much of the window had a quorum-capable leader, how many
+    disruptions landed, how long each recovery took, and what a client-side
+    workload observed (proposals accepted vs dropped while leaderless).
+
+    ``leaderless_intervals`` keeps the raw ``(start_ms, end_ms)`` outage
+    intervals so downstream analysis (and the property tests) can re-derive
+    every aggregate.
+    """
+
+    protocol: str
+    cluster_size: int
+    seed: int
+    plan: str
+    start_ms: Milliseconds
+    end_ms: Milliseconds
+    available_ms: Milliseconds
+    leaderless_ms: Milliseconds
+    unavailability: float
+    disruption_count: int
+    skipped_disruptions: int
+    outage_count: int
+    recovery_ms: tuple[Milliseconds, ...]
+    proposals_proposed: int
+    proposals_dropped: int
+    leaderless_intervals: tuple[tuple[Milliseconds, Milliseconds], ...]
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.unavailability <= 1.0:
+            raise ClusterError(
+                f"unavailability must be a fraction, got {self.unavailability!r}"
+            )
+        if self.outage_count != len(self.leaderless_intervals):
+            raise ClusterError(
+                f"outage_count ({self.outage_count}) disagrees with the "
+                f"{len(self.leaderless_intervals)} leaderless intervals"
+            )
+
+    @property
+    def duration_ms(self) -> Milliseconds:
+        """Length of the measured window."""
+        return self.end_ms - self.start_ms
+
+    @property
+    def availability(self) -> float:
+        """Available fraction of the window."""
+        return 1.0 - self.unavailability
+
+    @property
+    def mean_recovery_ms(self) -> float | None:
+        """Average outage duration, or ``None`` when no outage occurred."""
+        if not self.recovery_ms:
+            return None
+        return sum(self.recovery_ms) / len(self.recovery_ms)
+
+    @property
+    def max_recovery_ms(self) -> float | None:
+        """Longest outage duration, or ``None`` when no outage occurred."""
+        return max(self.recovery_ms) if self.recovery_ms else None
+
+
+class AvailabilitySet:
+    """Availability measurements from repeated runs of one configuration."""
+
+    def __init__(
+        self,
+        measurements: Iterable[AvailabilityMeasurement] = (),
+        label: str = "",
+    ) -> None:
+        self._measurements = list(measurements)
+        self.label = label
+
+    def add(self, measurement: AvailabilityMeasurement) -> None:
+        """Append one measurement."""
+        self._measurements.append(measurement)
+
+    @property
+    def measurements(self) -> tuple[AvailabilityMeasurement, ...]:
+        """Every recorded measurement."""
+        return tuple(self._measurements)
+
+    def _require_runs(self) -> list[AvailabilityMeasurement]:
+        if not self._measurements:
+            raise ClusterError(f"no runs in availability set {self.label!r}")
+        return self._measurements
+
+    def mean_unavailability(self) -> float:
+        """Average leaderless fraction over the runs."""
+        runs = self._require_runs()
+        return sum(m.unavailability for m in runs) / len(runs)
+
+    def mean_availability(self) -> float:
+        """Average available fraction over the runs."""
+        return 1.0 - self.mean_unavailability()
+
+    def mean_leaderless_ms(self) -> float:
+        """Average total leaderless time per run."""
+        runs = self._require_runs()
+        return sum(m.leaderless_ms for m in runs) / len(runs)
+
+    def mean_outages(self) -> float:
+        """Average number of outages per run."""
+        runs = self._require_runs()
+        return sum(m.outage_count for m in runs) / len(runs)
+
+    def mean_disruptions(self) -> float:
+        """Average number of applied disruptions per run."""
+        runs = self._require_runs()
+        return sum(m.disruption_count for m in runs) / len(runs)
+
+    def pooled_recovery_ms(self) -> list[Milliseconds]:
+        """Every outage duration across every run (for percentiles)."""
+        return [latency for m in self._measurements for latency in m.recovery_ms]
+
+    def mean_recovery_ms(self) -> float | None:
+        """Average outage duration pooled over runs (``None`` if no outage)."""
+        pooled = self.pooled_recovery_ms()
+        if not pooled:
+            return None
+        return sum(pooled) / len(pooled)
+
+    def total_proposed(self) -> int:
+        """Client proposals accepted by a leader, summed over runs."""
+        return sum(m.proposals_proposed for m in self._measurements)
+
+    def total_dropped(self) -> int:
+        """Client proposals dropped (no leader / stale leader), summed."""
+        return sum(m.proposals_dropped for m in self._measurements)
+
+    def __len__(self) -> int:
+        return len(self._measurements)
+
+    def __iter__(self) -> Iterator[AvailabilityMeasurement]:
+        return iter(self._measurements)
+
+
 class MeasurementSet:
     """A collection of measurements from repeated runs of one configuration."""
 

@@ -51,6 +51,38 @@ class TestExperimentsCli:
             experiments_main(["fig3", "--scenario", "paper-default"])
         assert "--scenario is not supported" in capsys.readouterr().err
 
+    def test_avail_quick_run_prints_availability_table(self, capsys):
+        assert experiments_main(["avail", "--runs", "2", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Steady-state availability" in output
+        assert "repeated-leader-kill" in output
+        assert "availability" in output
+
+    def test_avail_plan_and_protocols_override(self, capsys):
+        assert (
+            experiments_main(
+                [
+                    "avail",
+                    "--runs",
+                    "1",
+                    "--quick",
+                    "--plan",
+                    "partition-flap",
+                    "--protocols",
+                    "raft,escape",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "partition-flap" in output
+        assert "Z-Raft" not in output
+
+    def test_plan_rejected_for_unaware_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments_main(["wan", "--plan", "chaos-storm"])
+        assert "--plan is not supported" in capsys.readouterr().err
+
 
 class TestExamples:
     def test_quickstart_runs_and_reports_failover(self):
@@ -105,6 +137,8 @@ class TestExamples:
                 str(EXAMPLES / "geo_distributed_failover.py"),
                 "--runs",
                 "3",
+                "--chaos-horizon-ms",
+                "45000",
             ],
             capture_output=True,
             text=True,
@@ -112,6 +146,10 @@ class TestExamples:
         )
         assert result.returncode == 0, result.stderr
         assert "Geo-distributed failover" in result.stdout
+        # The chaos phase runs the partition-flap plan end-to-end on the
+        # same WAN topology and reports steady-state availability.
+        assert "partition-flap chaos" in result.stdout
+        assert "availability" in result.stdout
 
     def test_live_asyncio_example_small_run(self):
         result = subprocess.run(

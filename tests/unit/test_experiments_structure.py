@@ -10,6 +10,7 @@ import pytest
 from repro.experiments import (
     ablation_k_sweep,
     ablation_ppf,
+    exp_availability,
     exp_wan,
     fig03_randomization,
     fig04_randomization_average,
@@ -19,6 +20,7 @@ from repro.experiments import (
 )
 from repro.experiments.__main__ import (
     EXPERIMENTS,
+    PLAN_AWARE,
     PROTOCOL_AWARE,
     SCENARIO_AWARE,
     build_parser,
@@ -209,6 +211,77 @@ class TestWan:
             )
 
 
+class TestAvailability:
+    def test_cells_cover_protocols_and_share_one_plan(self):
+        result = exp_availability.run(
+            runs=1,
+            seed=0,
+            plan="repeated-leader-kill",
+            protocols=("raft", "escape"),
+            cluster_size=3,
+            horizon_ms=20_000.0,
+        )
+        assert set(result.by_protocol) == {"raft", "escape"}
+        assert result.plan.name == "repeated-leader-kill"
+        for protocol in ("raft", "escape"):
+            availability_set = result.set_for(protocol)
+            assert len(availability_set) == 1
+            (measurement,) = availability_set.measurements
+            assert measurement.plan == "repeated-leader-kill"
+            assert 0.0 <= measurement.unavailability <= 1.0
+        assert isinstance(result.downtime_saved_vs_raft("escape"), float)
+        report = exp_availability.report(result)
+        assert "Steady-state availability" in report
+        assert "ESCAPE" in report
+
+    def test_catalog_condition_layers_under_the_plan(self):
+        result = exp_availability.run(
+            runs=1,
+            seed=0,
+            plan="partition-flap",
+            protocols=("raft",),
+            cluster_size=4,
+            horizon_ms=15_000.0,
+            condition="geo-two-region",
+        )
+        assert result.condition == "geo-two-region"
+        assert "condition=geo-two-region" in exp_availability.report(result)
+
+    def test_liveness_free_protocols_are_rejected(self):
+        from repro.common.errors import ConfigurationError
+        from repro.chaos.plans import build_plan
+
+        plan = build_plan("repeated-leader-kill", horizon_ms=10_000.0)
+        with pytest.raises(ConfigurationError, match="livelock"):
+            exp_availability.build_scenarios(plan, protocols=("raft-fixed",))
+
+    def test_parallel_equals_sequential_for_every_liveness_protocol(self):
+        """The acceptance bar: bit-identical sweeps at any worker count."""
+        from repro import protocols as protocol_registry
+
+        liveness = tuple(
+            spec.name
+            for spec in protocol_registry.specs()
+            if spec.guarantees_liveness
+        )
+        kwargs = dict(
+            runs=2,
+            seed=7,
+            plan="chaos-storm",
+            protocols=liveness,
+            cluster_size=5,
+            horizon_ms=15_000.0,
+        )
+        sequential = exp_availability.run(workers=1, **kwargs)
+        parallel = exp_availability.run(workers=4, **kwargs)
+        assert set(sequential.by_protocol) == set(parallel.by_protocol)
+        for protocol in liveness:
+            assert (
+                parallel.set_for(protocol).measurements
+                == sequential.set_for(protocol).measurements
+            )
+
+
 class TestCli:
     def test_parser_knows_every_experiment(self):
         parser = build_parser()
@@ -235,6 +308,21 @@ class TestCli:
     def test_scenario_aware_experiments_exist(self):
         assert SCENARIO_AWARE <= set(EXPERIMENTS)
         assert "wan" in SCENARIO_AWARE
+        assert "avail" in SCENARIO_AWARE
+
+    def test_plan_option_accepts_chaos_catalog_names(self):
+        from repro.chaos.plans import plan_names
+
+        parser = build_parser()
+        args = parser.parse_args(["avail", "--plan", "partition-flap"])
+        assert args.plan == "partition-flap"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["avail", "--plan", "not-a-plan"])
+        assert "partition-flap" in plan_names()
+
+    def test_plan_aware_experiments_exist(self):
+        assert PLAN_AWARE <= set(EXPERIMENTS)
+        assert "avail" in PLAN_AWARE
 
     def test_protocols_option_accepts_registered_names(self):
         parser = build_parser()
@@ -251,7 +339,14 @@ class TestCli:
 
     def test_protocol_aware_experiments_exist(self):
         assert PROTOCOL_AWARE <= set(EXPERIMENTS)
-        assert {"fig9", "fig10", "fig11", "wan", "ablation-ppf"} == PROTOCOL_AWARE
+        assert {
+            "fig9",
+            "fig10",
+            "fig11",
+            "wan",
+            "avail",
+            "ablation-ppf",
+        } == PROTOCOL_AWARE
 
     def test_default_protocols_come_from_the_registry(self):
         from repro import protocols as protocol_registry
@@ -259,4 +354,5 @@ class TestCli:
         assert fig09_scale.PROTOCOLS == protocol_registry.RAFT_VS_ESCAPE
         assert fig11_message_loss.PROTOCOLS == protocol_registry.PAPER_PROTOCOLS
         assert exp_wan.PROTOCOLS == protocol_registry.PAPER_PROTOCOLS
+        assert exp_availability.PROTOCOLS == protocol_registry.PAPER_PROTOCOLS
         assert "escape-noppf" in ablation_ppf.PROTOCOLS

@@ -1,0 +1,124 @@
+"""Round-trip tests for the availability CSV/JSON export helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.export import (
+    AVAILABILITY_CSV_FIELDS,
+    availability_to_row,
+    read_availability_csv,
+    read_availability_json,
+    write_availability_csv,
+    write_availability_json,
+)
+from repro.metrics.records import AvailabilityMeasurement, AvailabilitySet
+
+
+def _measurement(seed=1, protocol="raft", outages=2):
+    intervals = tuple(
+        (10_000.0 * (i + 1), 10_000.0 * (i + 1) + 1_500.0) for i in range(outages)
+    )
+    leaderless = sum(end - start for start, end in intervals)
+    return AvailabilityMeasurement(
+        protocol=protocol,
+        cluster_size=5,
+        seed=seed,
+        plan="repeated-leader-kill",
+        start_ms=5_000.0,
+        end_ms=65_000.0,
+        available_ms=60_000.0 - leaderless,
+        leaderless_ms=leaderless,
+        unavailability=leaderless / 60_000.0,
+        disruption_count=outages,
+        skipped_disruptions=0,
+        outage_count=outages,
+        recovery_ms=tuple(end - start for start, end in intervals),
+        proposals_proposed=200,
+        proposals_dropped=12,
+        leaderless_intervals=intervals,
+        extra={"committed_entries": 180},
+    )
+
+
+def _sets():
+    return {
+        "raft": AvailabilitySet([_measurement(1), _measurement(2)], label="raft"),
+        "escape": AvailabilitySet(
+            [_measurement(1, protocol="escape", outages=1)], label="escape"
+        ),
+    }
+
+
+class TestAvailabilityCsv:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        path = write_availability_csv(tmp_path / "avail.csv", _sets())
+        rows = read_availability_csv(path)
+        assert len(rows) == 3
+        assert set(rows[0]) == set(AVAILABILITY_CSV_FIELDS)
+        first = rows[0]
+        original = availability_to_row(_measurement(1), label="raft")
+        for fieldname in AVAILABILITY_CSV_FIELDS:
+            assert first[fieldname] == str(original[fieldname])
+        # Numeric fields survive the text round-trip exactly.
+        assert float(first["unavailability"]) == pytest.approx(
+            _measurement(1).unavailability, abs=1e-6
+        )
+        assert int(first["outage_count"]) == 2
+
+    def test_missing_file_fails_with_a_clear_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such results file"):
+            read_availability_csv(tmp_path / "absent.csv")
+
+    def test_none_recovery_serialises_for_outage_free_runs(self, tmp_path):
+        clean = _measurement(3, outages=0)
+        assert clean.mean_recovery_ms is None
+        path = write_availability_csv(tmp_path / "clean.csv", {"raft": [clean]})
+        (row,) = read_availability_csv(path)
+        assert row["mean_recovery_ms"] == ""
+        assert row["max_recovery_ms"] == ""
+
+
+class TestAvailabilityJson:
+    def test_round_trip_reconstructs_the_measurements_exactly(self, tmp_path):
+        sets = _sets()
+        path = write_availability_json(
+            tmp_path / "avail.json", sets, metadata={"experiment": "avail"}
+        )
+        restored = read_availability_json(path)
+        assert set(restored) == {"raft", "escape"}
+        for label, availability_set in sets.items():
+            assert restored[label].label == label
+            assert restored[label].measurements == availability_set.measurements
+
+    def test_aggregates_survive_the_round_trip(self, tmp_path):
+        sets = _sets()
+        path = write_availability_json(tmp_path / "avail.json", sets)
+        restored = read_availability_json(path)
+        assert restored["raft"].mean_unavailability() == pytest.approx(
+            sets["raft"].mean_unavailability()
+        )
+        assert restored["raft"].pooled_recovery_ms() == sets[
+            "raft"
+        ].pooled_recovery_ms()
+        assert restored["escape"].total_proposed() == 200
+
+    def test_missing_file_fails_with_a_clear_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such results file"):
+            read_availability_json(tmp_path / "absent.json")
+
+
+class TestAvailabilitySetAggregates:
+    def test_empty_set_refuses_aggregates(self):
+        empty = AvailabilitySet(label="empty")
+        with pytest.raises(Exception, match="no runs"):
+            empty.mean_unavailability()
+        assert empty.mean_recovery_ms() is None
+        assert empty.total_proposed() == 0
+
+    def test_means_are_per_run_and_recovery_is_pooled(self):
+        availability_set = AvailabilitySet(
+            [_measurement(1, outages=2), _measurement(2, outages=2)]
+        )
+        assert availability_set.mean_outages() == 2.0
+        assert len(availability_set.pooled_recovery_ms()) == 4
+        assert availability_set.mean_recovery_ms() == pytest.approx(1_500.0)
