@@ -6,18 +6,19 @@ ESCAPE-groomed variant as the replicas' rank information degrades.
 
 from __future__ import annotations
 
-from repro.experiments import adapter_redis
+from repro.experiments import run_experiment
 
 
 def test_adapter_redis_failover(benchmark, bench_runs, full_grids):
     runs = max(200, bench_runs * 20)
 
     def run_sweep():
-        return adapter_redis.run(runs=runs, seed=7)
+        return run_experiment("adapter-redis", runs=runs, seed=7)
 
-    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    run = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = run.result
     print()
-    print(adapter_redis.report(result))
+    print(run.report)
 
     for confusion in result.confusion_levels:
         benchmark.extra_info[f"reduction_at_confusion{int(confusion * 100)}"] = round(

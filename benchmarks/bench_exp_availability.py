@@ -11,7 +11,7 @@ through the parallel sweep engine.
 from __future__ import annotations
 
 from repro.chaos.plans import plan_names
-from repro.experiments import exp_availability
+from repro.experiments import exp_availability, run_experiment
 
 
 def test_availability_chaos_sweep(benchmark, bench_runs, full_grids, bench_workers):
@@ -20,7 +20,8 @@ def test_availability_chaos_sweep(benchmark, bench_runs, full_grids, bench_worke
 
     def run_sweep():
         return [
-            exp_availability.run(
+            run_experiment(
+                "avail",
                 runs=bench_runs,
                 seed=13,
                 plan=plan,
@@ -30,10 +31,11 @@ def test_availability_chaos_sweep(benchmark, bench_runs, full_grids, bench_worke
             for plan in plans
         ]
 
-    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    results = [run.result for run in runs]
     print()
-    for result in results:
-        print(exp_availability.report(result))
+    for run in runs:
+        print(run.report)
         print()
 
     for result in results:

@@ -10,7 +10,7 @@ through the parallel sweep engine.
 from __future__ import annotations
 
 from repro.cluster.catalog import condition_names
-from repro.experiments import exp_wan
+from repro.experiments import exp_wan, run_experiment
 
 
 def test_wan_catalog_sweep(benchmark, bench_runs, full_grids, bench_workers):
@@ -18,7 +18,8 @@ def test_wan_catalog_sweep(benchmark, bench_runs, full_grids, bench_workers):
     cluster_size = exp_wan.DEFAULT_CLUSTER_SIZE if full_grids else 6
 
     def run_sweep():
-        return exp_wan.run(
+        return run_experiment(
+            "wan",
             runs=bench_runs,
             seed=11,
             conditions=conditions,
@@ -26,9 +27,10 @@ def test_wan_catalog_sweep(benchmark, bench_runs, full_grids, bench_workers):
             workers=bench_workers,
         )
 
-    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    run = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = run.result
     print()
-    print(exp_wan.report(result))
+    print(run.report)
 
     for condition in conditions:
         benchmark.extra_info[f"escape_reduction_{condition}"] = round(

@@ -6,20 +6,21 @@ summary and the average-reduction series the paper's right panel shows.
 
 from __future__ import annotations
 
-from repro.experiments import fig09_scale
+from repro.experiments import fig09_scale, run_experiment
 
 
 def test_fig09_scale_sweep(benchmark, bench_runs, full_grids, bench_workers):
     sizes = fig09_scale.PAPER_SIZES if full_grids else (8, 16, 32)
 
     def run_sweep():
-        return fig09_scale.run(
-            runs=bench_runs, seed=2, sizes=sizes, workers=bench_workers
+        return run_experiment(
+            "fig9", runs=bench_runs, seed=2, sizes=sizes, workers=bench_workers
         )
 
-    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    run = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = run.result
     print()
-    print(fig09_scale.report(result))
+    print(run.report)
 
     for size in sizes:
         benchmark.extra_info[f"reduction_at_{size}"] = round(result.reduction_for(size), 2)

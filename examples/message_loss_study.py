@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments import fig11_message_loss
+from repro.experiments import fig11_message_loss, run_experiment
 
 
 def main() -> None:
@@ -25,13 +25,18 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    result = fig11_message_loss.run(
+    # One registry entry point runs any experiment programmatically; the
+    # envelope carries the raw result, the rendered report and run metadata.
+    run = run_experiment(
+        "fig11",
         runs=args.runs,
         seed=args.seed,
         sizes=(args.size,),
         loss_rates=fig11_message_loss.PAPER_LOSS_RATES,
     )
-    print(fig11_message_loss.report(result))
+    result = run.result
+    print(run.report)
+    print(f"\n({run.runs} runs in {run.elapsed_s:.1f} s, seed {run.seed})")
 
     print("\nTakeaway:")
     worst = max(fig11_message_loss.PAPER_LOSS_RATES)

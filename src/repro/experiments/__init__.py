@@ -1,56 +1,54 @@
-"""Experiment harness: one module per figure of the paper's evaluation.
+"""Experiment harness: a plugin registry of the paper's evaluation figures.
 
-Every module exposes:
+Every module under this package describes one experiment and registers a
+frozen :class:`~repro.experiments.spec.ExperimentSpec` (name, title, paper
+figure/section, capability flags, default + quick-mode parameter sets, run
+callable, reporter, exporter binding) with
+:mod:`repro.experiments.registry`.  The registry is the single source of
+truth for "which experiments exist": the CLI (``python -m repro.experiments``)
+derives its choices, help text, capability validation and quick-mode
+overrides from it, ``--output DIR`` persists any result through the spec's
+exporter binding, and EXPERIMENTS.md embeds the generated registry table.
 
-* ``run(...)`` -- execute the sweep and return a structured result object;
-* ``report(result)`` -- render the same rows/series the paper plots as a
-  plain-text table;
-* sensible defaults small enough for a laptop, with ``runs`` (and, where
-  relevant, the list of cluster sizes) exposed so the paper's full 1000-run
-  sweeps can be reproduced with ``python -m repro.experiments <name> --runs
-  1000``.
+Programmatic use goes through one entry point::
+
+    from repro.experiments import run_experiment
+
+    run = run_experiment("fig9", runs=100, workers=0)
+    print(run.report)          # the table the CLI prints
+    run.result                 # the experiment's raw result object
+    run.elapsed_s, run.seed    # run metadata
 
 All sweeps execute through the parallel engine in
-:mod:`repro.experiments.runner`: pass ``workers=N`` to any ``run(...)`` (or
-``--workers N`` on the CLI) to fan the episodes out over N processes with
-bit-for-bit identical results.
+:mod:`repro.experiments.runner`: pass ``workers=N`` (or ``--workers N`` on
+the CLI) to fan the episodes out over N processes with bit-for-bit identical
+results.
 
-Index (see DESIGN.md §3 for the full mapping):
-
-==========================================  =========================================
-Module                                      Paper artefact
-==========================================  =========================================
-:mod:`repro.experiments.fig03_randomization`        Figure 3 (CDF vs timeout randomness)
-:mod:`repro.experiments.fig04_randomization_average` Figure 4 (average vs randomness)
-:mod:`repro.experiments.fig09_scale`                Figure 9 (CDFs + average vs scale)
-:mod:`repro.experiments.fig10_competing_candidates` Figure 10 (forced contention phases)
-:mod:`repro.experiments.fig11_message_loss`         Figure 11 (message loss, 3 protocols)
-:mod:`repro.experiments.ablation_ppf`               Ablation: SCA without PPF under churn
-:mod:`repro.experiments.ablation_k_sweep`           Ablation: Eq. 1 priority gap ``k``
-:mod:`repro.experiments.exp_wan`                    WAN region splits (Section II-B scenario)
-:mod:`repro.experiments.exp_availability`           Steady-state availability under chaos plans
-==========================================  =========================================
-
-The WAN experiment additionally accepts any named network condition from
-:mod:`repro.cluster.catalog` (CLI: ``--scenario NAME``); the availability
-experiment accepts both a network condition and a named chaos plan from
-:data:`repro.chaos.plans.CHAOS_CATALOG` (CLI: ``--plan NAME``).
+See EXPERIMENTS.md for the registry table and the paper-vs-measured
+comparison, and ``python -m repro.experiments --list`` for the live registry.
 """
 
-from repro.experiments import (
-    ablation_k_sweep,
-    ablation_ppf,
-    adapter_redis,
-    exp_availability,
-    exp_wan,
-    fig03_randomization,
-    fig04_randomization_average,
-    fig09_scale,
-    fig10_competing_candidates,
-    fig11_message_loss,
-)
+# Importing an experiment module registers its spec; the import order below
+# is the registration order, which the CLI surfaces as its choice order
+# (paper figures first, then the extension experiments and ablations).
+from repro.experiments import fig03_randomization
+from repro.experiments import fig04_randomization_average
+from repro.experiments import fig09_scale
+from repro.experiments import fig10_competing_candidates
+from repro.experiments import fig11_message_loss
+from repro.experiments import exp_wan
+from repro.experiments import exp_availability
+from repro.experiments import ablation_ppf
+from repro.experiments import ablation_k_sweep
+from repro.experiments import adapter_redis
+from repro.experiments import registry
+from repro.experiments.registry import run_experiment
+from repro.experiments.spec import ExperimentRun, ExperimentSpec, ExporterBinding
 
 __all__ = [
+    "ExperimentRun",
+    "ExperimentSpec",
+    "ExporterBinding",
     "ablation_k_sweep",
     "ablation_ppf",
     "adapter_redis",
@@ -61,4 +59,6 @@ __all__ = [
     "fig09_scale",
     "fig10_competing_candidates",
     "fig11_message_loss",
+    "registry",
+    "run_experiment",
 ]

@@ -2,24 +2,34 @@
 
 Usage::
 
+    python -m repro.experiments --list                          # registry table
     python -m repro.experiments fig9 --runs 200 --seed 1
     python -m repro.experiments fig11 --runs 1000 --workers 0   # paper-scale sweep
     python -m repro.experiments wan --scenario chaos-composite  # catalog condition
     python -m repro.experiments wan --protocols raft-stagger,escape-noppf,escape
     python -m repro.experiments avail --plan partition-flap     # chaos plan
+    python -m repro.experiments fig3 --output results/          # persist raw + report
     python -m repro.experiments all --runs 20                   # quick smoke pass
+
+The CLI is generated from the experiment registry
+(:mod:`repro.experiments.registry`): the experiment choices, the help text,
+which experiments accept ``--scenario``/``--protocols``/``--plan``, and the
+quick-mode parameter overrides all come from the registered
+:class:`~repro.experiments.spec.ExperimentSpec` descriptors -- registering an
+eleventh experiment extends the CLI without touching this module.
 
 ``--workers N`` fans the episodes of a sweep out over N processes
 (``--workers 0`` uses every CPU); results are bit-for-bit identical to a
-sequential run with the same seed.  ``--scenario NAME`` (experiments that
-support it: ``wan``, ``avail``) selects a single named network condition from
-:mod:`repro.cluster.catalog` instead of the experiment's default grid.
-``--protocols a,b,c`` replaces a protocol-aware experiment's default
-comparison with any protocols registered in :mod:`repro.protocols` (unknown
-names are rejected with the list of registered ones; so are protocols that
-do not guarantee leader election, since every sweep must stabilise one).
-``--plan NAME`` (``avail`` only) selects the chaos fault timeline from
-:data:`repro.chaos.plans.CHAOS_CATALOG`.
+sequential run with the same seed.  ``--scenario NAME`` selects a single
+named network condition from :mod:`repro.cluster.catalog` instead of the
+experiment's default grid.  ``--protocols a,b,c`` replaces a
+protocol-capable experiment's default comparison with any protocols
+registered in :mod:`repro.protocols` (unknown names are rejected with the
+list of registered ones; so are protocols that do not guarantee leader
+election, since every sweep must stabilise one).  ``--plan NAME`` selects
+the chaos fault timeline from :data:`repro.chaos.plans.CHAOS_CATALOG`.
+``--output DIR`` saves every experiment's raw measurements (CSV), a lossless
+JSON export with the run metadata, and the rendered report.
 
 Every experiment prints the same rows/series the corresponding paper figure
 plots; see EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -29,196 +39,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Sequence
 
-from repro import protocols as protocol_registry
 from repro.chaos.plans import plan_names
 from repro.cluster.catalog import condition_names
-from repro.experiments import (
-    ablation_k_sweep,
-    ablation_ppf,
-    adapter_redis,
-    exp_availability,
-    exp_wan,
-    fig03_randomization,
-    fig04_randomization_average,
-    fig09_scale,
-    fig10_competing_candidates,
-    fig11_message_loss,
-)
+from repro.common.errors import ConfigurationError
+from repro.experiments import registry
 from repro.experiments.base import print_progress
-
-
-@dataclass(frozen=True)
-class RunRequest:
-    """One CLI invocation's sweep parameters, as passed to every runner."""
-
-    runs: int
-    seed: int
-    quick: bool
-    workers: int | None
-    scenario: str | None = None
-    protocols: tuple[str, ...] | None = None
-    plan: str | None = None
-
-    @property
-    def progress(self):
-        """The progress callback the request implies (quiet in quick mode)."""
-        return print_progress if not self.quick else None
-
-
-ExperimentRunner = Callable[[RunRequest], str]
-
-
-def _run_fig3(request: RunRequest) -> str:
-    result = fig03_randomization.run(
-        runs=request.runs,
-        seed=request.seed,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return fig03_randomization.report(result)
-
-
-def _run_fig4(request: RunRequest) -> str:
-    result = fig04_randomization_average.run(
-        runs=request.runs,
-        seed=request.seed,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return fig04_randomization_average.report(result)
-
-
-def _run_fig9(request: RunRequest) -> str:
-    sizes = (8, 16, 32) if request.quick else fig09_scale.PAPER_SIZES
-    result = fig09_scale.run(
-        runs=request.runs,
-        seed=request.seed,
-        sizes=sizes,
-        protocols=request.protocols or fig09_scale.PROTOCOLS,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return fig09_scale.report(result)
-
-
-def _run_fig10(request: RunRequest) -> str:
-    sizes = (8, 16) if request.quick else fig10_competing_candidates.PAPER_SIZES
-    result = fig10_competing_candidates.run(
-        runs=request.runs,
-        seed=request.seed,
-        sizes=sizes,
-        protocols=request.protocols or fig10_competing_candidates.PROTOCOLS,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return fig10_competing_candidates.report(result)
-
-
-def _run_fig11(request: RunRequest) -> str:
-    sizes = (10,) if request.quick else fig11_message_loss.PAPER_SIZES
-    result = fig11_message_loss.run(
-        runs=request.runs,
-        seed=request.seed,
-        sizes=sizes,
-        protocols=request.protocols or fig11_message_loss.PROTOCOLS,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return fig11_message_loss.report(result)
-
-
-def _run_ablation_ppf(request: RunRequest) -> str:
-    result = ablation_ppf.run(
-        runs=request.runs,
-        seed=request.seed,
-        protocols=request.protocols or ablation_ppf.PROTOCOLS,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return ablation_ppf.report(result)
-
-
-def _run_ablation_k(request: RunRequest) -> str:
-    result = ablation_k_sweep.run(
-        runs=request.runs,
-        seed=request.seed,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return ablation_k_sweep.report(result)
-
-
-def _run_adapter_redis(request: RunRequest) -> str:
-    # The adapter model is cheap; scale the run count up so the collision
-    # rates are stable even in quick mode.  It finishes in milliseconds, so
-    # it ignores --workers rather than paying pool start-up for nothing.
-    result = adapter_redis.run(runs=max(request.runs, 50), seed=request.seed)
-    return adapter_redis.report(result)
-
-
-def _run_wan(request: RunRequest) -> str:
-    conditions = (
-        (request.scenario,) if request.scenario else exp_wan.WAN_CONDITIONS
-    )
-    cluster_size = 6 if request.quick else exp_wan.DEFAULT_CLUSTER_SIZE
-    result = exp_wan.run(
-        runs=request.runs,
-        seed=request.seed,
-        conditions=conditions,
-        protocols=request.protocols or exp_wan.PROTOCOLS,
-        cluster_size=cluster_size,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return exp_wan.report(result)
-
-
-def _run_avail(request: RunRequest) -> str:
-    horizon = (
-        exp_availability.QUICK_HORIZON_MS
-        if request.quick
-        else exp_availability.DEFAULT_HORIZON_MS
-    )
-    result = exp_availability.run(
-        runs=request.runs,
-        seed=request.seed,
-        plan=request.plan or exp_availability.DEFAULT_PLAN,
-        protocols=request.protocols or exp_availability.PROTOCOLS,
-        horizon_ms=horizon,
-        condition=request.scenario,
-        progress=request.progress,
-        workers=request.workers,
-    )
-    return exp_availability.report(result)
-
-
-EXPERIMENTS: dict[str, ExperimentRunner] = {
-    "fig3": _run_fig3,
-    "fig4": _run_fig4,
-    "fig9": _run_fig9,
-    "fig10": _run_fig10,
-    "fig11": _run_fig11,
-    "wan": _run_wan,
-    "avail": _run_avail,
-    "ablation-ppf": _run_ablation_ppf,
-    "ablation-k": _run_ablation_k,
-    "adapter-redis": _run_adapter_redis,
-}
-
-#: Experiments that understand the ``--scenario`` catalog-condition override.
-SCENARIO_AWARE: frozenset[str] = frozenset({"wan", "avail"})
-
-#: Experiments that understand the ``--protocols`` registry override.
-PROTOCOL_AWARE: frozenset[str] = frozenset(
-    {"fig9", "fig10", "fig11", "wan", "avail", "ablation-ppf"}
-)
-
-#: Experiments that understand the ``--plan`` chaos-catalog override.
-PLAN_AWARE: frozenset[str] = frozenset({"avail"})
+from repro.experiments.export import save_run
 
 
 def _worker_count(value: str) -> int:
@@ -236,44 +65,39 @@ def _protocol_list(value: str) -> tuple[str, ...]:
         raise argparse.ArgumentTypeError(
             "--protocols needs at least one protocol name"
         )
-    sweepable = [
-        spec.name
-        for spec in protocol_registry.specs()
-        if spec.guarantees_liveness
-    ]
-    for name in names:
-        if not protocol_registry.is_registered(name):
-            raise argparse.ArgumentTypeError(
-                f"unknown protocol {name!r}; registered: "
-                f"{', '.join(protocol_registry.names())}"
-            )
-        if not protocol_registry.get(name).guarantees_liveness:
-            # Every experiment stabilises a leader before measuring, so a
-            # protocol that livelocks by design can only abort the sweep.
-            raise argparse.ArgumentTypeError(
-                f"protocol {name!r} does not guarantee leader election (it "
-                "livelocks by design) and cannot run in an experiment sweep; "
-                f"sweepable protocols: {', '.join(sweepable)}"
-            )
-    return names
+    try:
+        return registry.validate_sweep_protocols(names)
+    except ConfigurationError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for testing)."""
+    """The CLI argument parser, generated from the experiment registry."""
+    from repro import protocols as protocol_registry
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the evaluation figures of the ESCAPE paper (ICDCS 2022).",
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS.keys(), "all"],
-        help="which figure to reproduce ('all' runs every experiment)",
+        nargs="?",
+        choices=[*registry.names(), "all"],
+        help="which experiment to run ('all' runs every registered one)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment registry table and exit",
     )
     parser.add_argument(
         "--runs",
         type=int,
-        default=30,
-        help="independent runs per data point (the paper uses 1000)",
+        default=None,
+        help=(
+            "independent runs per data point (default: the experiment's "
+            "registered default, see --list; the paper uses 1000)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     parser.add_argument(
@@ -288,7 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="restrict the sweep to small cluster sizes for a fast smoke pass",
+        help=(
+            "apply each experiment's registered quick-mode overrides "
+            "(small cluster sizes / short horizons) for a fast smoke pass"
+        ),
     )
     parser.add_argument(
         "--scenario",
@@ -296,7 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "run under a single named network condition from the scenario "
-            f"catalog (supported by: {', '.join(sorted(SCENARIO_AWARE))})"
+            f"catalog (supported by: {', '.join(sorted(registry.supporting('scenario')))})"
         ),
     )
     parser.add_argument(
@@ -308,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
             "comma-separated protocols from the registry "
             f"({', '.join(protocol_registry.names())}) replacing the "
             "experiment's default comparison (supported by: "
-            f"{', '.join(sorted(PROTOCOL_AWARE))})"
+            f"{', '.join(sorted(registry.supporting('protocols')))})"
         ),
     )
     parser.add_argument(
@@ -317,7 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "run under a named chaos plan from the chaos catalog "
-            f"(supported by: {', '.join(sorted(PLAN_AWARE))})"
+            f"(supported by: {', '.join(sorted(registry.supporting('plan')))})"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist each experiment's raw measurements (CSV), a lossless "
+            "JSON export with the run metadata, and the rendered report "
+            "into DIR"
         ),
     )
     return parser
@@ -327,53 +164,62 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.experiments``."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if args.scenario is not None:
-        unsupported = [name for name in names if name not in SCENARIO_AWARE]
-        if unsupported:
-            parser.error(
-                f"--scenario is not supported by: {', '.join(unsupported)} "
-                f"(supported: {', '.join(sorted(SCENARIO_AWARE))})"
-            )
-    if args.protocols is not None:
-        unsupported = [name for name in names if name not in PROTOCOL_AWARE]
-        if unsupported:
-            parser.error(
-                f"--protocols is not supported by: {', '.join(unsupported)} "
-                f"(supported: {', '.join(sorted(PROTOCOL_AWARE))})"
-            )
-    if args.plan is not None:
-        unsupported = [name for name in names if name not in PLAN_AWARE]
-        if unsupported:
-            parser.error(
-                f"--plan is not supported by: {', '.join(unsupported)} "
-                f"(supported: {', '.join(sorted(PLAN_AWARE))})"
-            )
-    request = RunRequest(
-        runs=args.runs,
-        seed=args.seed,
-        quick=args.quick,
-        workers=None if args.workers == 0 else args.workers,
-        scenario=args.scenario,
-        protocols=args.protocols,
-        plan=args.plan,
+    if args.list:
+        print(registry.registry_table())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or 'all') is required unless --list is given")
+    names = (
+        list(registry.names()) if args.experiment == "all" else [args.experiment]
     )
+    for option in registry.CAPABILITIES:
+        if getattr(args, option) is not None:
+            message = registry.unsupported_option_message(option, names)
+            if message:
+                parser.error(message)
+    workers = None if args.workers == 0 else args.workers
+    output_dir = Path(args.output) if args.output else None
+    if output_dir is not None:
+        # Fail before the sweep, not after: a long run whose results cannot
+        # be persisted would otherwise be lost to a post-hoc error.
+        exporterless = [
+            name for name in names if registry.get(name).exporter is None
+        ]
+        if exporterless:
+            parser.error(
+                "--output needs an exporter binding, which is not declared "
+                f"by: {', '.join(exporterless)}"
+            )
     for name in names:
-        started = time.perf_counter()
-        scenario_note = f", scenario={args.scenario}" if args.scenario else ""
+        option_note = f", scenario={args.scenario}" if args.scenario else ""
         if args.protocols:
-            scenario_note += f", protocols={','.join(args.protocols)}"
+            option_note += f", protocols={','.join(args.protocols)}"
         if args.plan:
-            scenario_note += f", plan={args.plan}"
+            option_note += f", plan={args.plan}"
+        runs_note = "default" if args.runs is None else args.runs
         print(
-            f"== {name} (runs={args.runs}, seed={args.seed}, "
-            f"workers={args.workers or 'auto'}{scenario_note}) ==",
+            f"== {name} (runs={runs_note}, seed={args.seed}, "
+            f"workers={args.workers or 'auto'}{option_note}) ==",
             flush=True,
         )
-        report = EXPERIMENTS[name](request)
-        elapsed = time.perf_counter() - started
-        print(report)
-        print(f"-- completed in {elapsed:.1f} s\n", flush=True)
+        run = registry.run_experiment(
+            name,
+            runs=args.runs,
+            seed=args.seed,
+            quick=args.quick,
+            workers=workers,
+            progress=None if args.quick else print_progress,
+            scenario=args.scenario,
+            protocols=args.protocols,
+            plan=args.plan,
+        )
+        for note in run.notes:
+            print(f"   note: {note}", flush=True)
+        print(run.report)
+        if output_dir is not None:
+            paths = save_run(run, output_dir)
+            print(f"   saved: {paths['csv']}, {paths['json']}, {paths['report']}")
+        print(f"-- completed in {run.elapsed_s:.1f} s\n", flush=True)
     return 0
 
 

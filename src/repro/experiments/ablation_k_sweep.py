@@ -18,6 +18,8 @@ from typing import Mapping, Sequence
 from repro.cluster.scenarios import ElectionScenario
 from repro.common.config import ScaParameters
 from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.tables import render_table
 
@@ -105,3 +107,26 @@ def report(result: KSweepResult) -> str:
             f"({result.runs} runs per value)"
         ),
     )
+
+
+def _export_measurements(result: KSweepResult) -> Mapping[str, MeasurementSet]:
+    """Exporter binding: the per-k measurement sets."""
+    return result.by_label
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="ablation-k",
+        title="Ablation: ESCAPE sensitivity to the priority gap k",
+        paper_ref="Eq. 1 / Section IV-A",
+        description=(
+            "sweep the Eq. 1 priority-gap constant: small k costs extra "
+            "campaigns, large k just adds the base timeout"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=30,
+        params={"cluster_size": DEFAULT_SIZE, "k_values": DEFAULT_K_VALUES},
+        exporter=ExporterBinding(kind="election", extract=_export_measurements),
+    )
+)

@@ -19,6 +19,8 @@ from typing import Mapping, Sequence
 from repro import protocols as protocol_registry
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.stats import reduction_percent
 from repro.metrics.tables import render_table
@@ -138,3 +140,27 @@ def report(result: PpfAblationResult) -> str:
             f"({result.runs} runs per cell)"
         ),
     )
+
+
+def _export_measurements(result: PpfAblationResult) -> Mapping[str, MeasurementSet]:
+    """Exporter binding: the per-(protocol, loss) measurement sets."""
+    return result.by_label
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="ablation-ppf",
+        title="Ablation: contribution of the Probing Patrol (PPF)",
+        paper_ref="Section IV-B (ablation)",
+        description=(
+            "escape-noppf and zraft vs full ESCAPE under growing broadcast "
+            "loss: how much of the win is the patrol"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=30,
+        params={"cluster_size": DEFAULT_SIZE, "loss_rates": DEFAULT_LOSS_RATES},
+        supports_protocols=True,
+        exporter=ExporterBinding(kind="election", extract=_export_measurements),
+    )
+)

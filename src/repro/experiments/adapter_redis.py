@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.adapters.redis_cluster import RedisClusterParameters, compare_failover_models
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.stats import reduction_percent
 from repro.metrics.tables import render_table
 
@@ -92,3 +94,47 @@ def report(result: RedisAdapterResult) -> str:
             f"({result.runs} runs per cell)"
         ),
     )
+
+
+def _export_rows(result: RedisAdapterResult) -> list[dict[str, object]]:
+    """Exporter binding: one aggregate row per (confusion level, variant)."""
+    rows: list[dict[str, object]] = []
+    for confusion in result.confusion_levels:
+        for variant in sorted(result.by_level[confusion]):
+            summary = result.summary_for(confusion, variant)
+            rows.append(
+                {
+                    "rank_confusion": confusion,
+                    "variant": variant,
+                    **{key: summary[key] for key in sorted(summary)},
+                }
+            )
+    return rows
+
+
+#: The adapter model is cheap; the spec's floor keeps the collision rates
+#: stable even when the CLI's default/quick run counts are tiny.  It also
+#: opts out of ``--workers``: the sweep finishes in milliseconds, so a pool
+#: would only pay start-up cost.
+SPEC = register(
+    ExperimentSpec(
+        name="adapter-redis",
+        title="ESCAPE grooming applied to Redis-Cluster failover",
+        paper_ref="Section IV-C (transfer claim)",
+        description=(
+            "stock Redis replica election vs the ESCAPE-groomed variant "
+            "while rank information degrades and votes get lost"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=200,
+        params={
+            "confusion_levels": DEFAULT_CONFUSION_LEVELS,
+            "vote_loss_rate": DEFAULT_VOTE_LOSS,
+            "replicas": 5,
+        },
+        supports_workers=False,
+        min_runs=50,
+        exporter=ExporterBinding(kind="rows", extract=_export_rows),
+    )
+)

@@ -28,6 +28,8 @@ from repro.cluster.catalog import get_condition
 from repro.common.errors import ConfigurationError
 from repro.common.types import Milliseconds
 from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import AvailabilitySet
 from repro.metrics.tables import render_table
 
@@ -201,3 +203,41 @@ def report(result: AvailabilityResult) -> str:
             f"{condition_note})"
         ),
     )
+
+
+def registry_run(*, scenario: str | None = None, **kwargs) -> AvailabilityResult:
+    """Registry adapter: ``scenario`` is the layered network condition."""
+    return run(condition=scenario, **kwargs)
+
+
+def _export_measurements(result: AvailabilityResult) -> Mapping[str, AvailabilitySet]:
+    """Exporter binding: the per-protocol availability sets."""
+    return result.by_protocol
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="avail",
+        title="Steady-state availability under chaos plans",
+        paper_ref="Sections I-II (implied, never measured)",
+        description=(
+            "every liveness protocol runs the same chaos fault timeline "
+            "with a client workload; uptime is the end-to-end quantity "
+            "faster elections are supposed to buy"
+        ),
+        run=registry_run,
+        reporter=report,
+        default_runs=10,
+        params={
+            "cluster_size": DEFAULT_CLUSTER_SIZE,
+            "horizon_ms": DEFAULT_HORIZON_MS,
+        },
+        quick_params={"horizon_ms": QUICK_HORIZON_MS},
+        supports_scenario=True,
+        supports_protocols=True,
+        supports_plan=True,
+        exporter=ExporterBinding(
+            kind="availability", extract=_export_measurements
+        ),
+    )
+)

@@ -24,6 +24,8 @@ from repro import protocols as protocol_registry
 from repro.cluster.catalog import get_condition, scenario_for
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.stats import reduction_percent
 from repro.metrics.tables import render_table
@@ -163,3 +165,45 @@ def report(result: WanResult) -> str:
             f"(s={result.cluster_size}, {result.runs} runs per cell)"
         ),
     )
+
+
+def registry_run(
+    *,
+    scenario: str | None = None,
+    conditions: Sequence[str] = WAN_CONDITIONS,
+    **kwargs,
+) -> WanResult:
+    """Registry adapter: ``scenario`` narrows the grid to one condition."""
+    if scenario is not None:
+        conditions = (scenario,)
+    return run(conditions=conditions, **kwargs)
+
+
+def _export_measurements(result: WanResult) -> Mapping[str, MeasurementSet]:
+    """Exporter binding: the per-(protocol, condition) measurement sets."""
+    return result.by_label
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="wan",
+        title="WAN failover across geo-distributed region splits",
+        paper_ref="Section II-B (described, never measured)",
+        description=(
+            "the paper's geo-distributed split-vote setting, measured: flat "
+            "network vs two- and three-region WAN splits"
+        ),
+        run=registry_run,
+        reporter=report,
+        default_runs=30,
+        params={
+            "conditions": WAN_CONDITIONS,
+            "cluster_size": DEFAULT_CLUSTER_SIZE,
+        },
+        quick_params={"cluster_size": 6},
+        supports_scenario=True,
+        supports_protocols=True,
+        capability_overrides={"scenario": "conditions"},
+        exporter=ExporterBinding(kind="election", extract=_export_measurements),
+    )
+)

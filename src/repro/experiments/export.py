@@ -3,6 +3,15 @@
 Sweeps are expensive; these helpers let the CLI (and user scripts) save raw
 per-run measurements and aggregate series to disk so figures can be re-plotted
 or re-analysed without re-running the simulation.
+
+The registry-generic surface is :func:`save_run` / :func:`load_run`: given
+the :class:`~repro.experiments.spec.ExperimentRun` envelope of *any*
+registered experiment, ``save_run`` writes the raw measurements (CSV), a
+lossless JSON export and the rendered report through the spec's exporter
+binding, and ``load_run`` reconstructs the measurement payload exactly.
+The per-shape writers (:func:`write_measurements_csv`,
+:func:`write_availability_json`, :func:`write_rows_csv`, ...) remain public
+for scripts that work below the envelope level.
 """
 
 from __future__ import annotations
@@ -10,7 +19,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.metrics.records import (
@@ -19,6 +28,9 @@ from repro.metrics.records import (
     ElectionMeasurement,
     MeasurementSet,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec is data-only)
+    from repro.experiments.spec import ExperimentRun
 
 #: Column order of the per-run CSV export.
 CSV_FIELDS = (
@@ -302,3 +314,212 @@ def read_availability_json(
         )
         for label, entries in payload["cells"].items()
     }
+
+
+# --------------------------------------------------------------------------- #
+# Lossless election-measurement JSON (the generic export path's raw format)
+# --------------------------------------------------------------------------- #
+def _measurement_to_json(measurement: ElectionMeasurement) -> dict[str, object]:
+    return {
+        "protocol": measurement.protocol,
+        "cluster_size": measurement.cluster_size,
+        "seed": measurement.seed,
+        "converged": measurement.converged,
+        "crash_time_ms": measurement.crash_time_ms,
+        "detection_ms": measurement.detection_ms,
+        "election_ms": measurement.election_ms,
+        "total_ms": measurement.total_ms,
+        "campaign_count": measurement.campaign_count,
+        "split_vote": measurement.split_vote,
+        "winner_id": measurement.winner_id,
+        "winner_term": measurement.winner_term,
+        "extra": dict(measurement.extra),
+    }
+
+
+def _tuplify(value: object) -> object:
+    """Restore JSON arrays as tuples (the harness stores immutable extras)."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _tuplify(item) for key, item in value.items()}
+    return value
+
+
+def _measurement_from_json(payload: Mapping[str, object]) -> ElectionMeasurement:
+    winner_id = payload["winner_id"]
+    winner_term = payload["winner_term"]
+    return ElectionMeasurement(
+        protocol=str(payload["protocol"]),
+        cluster_size=int(payload["cluster_size"]),  # type: ignore[arg-type]
+        seed=int(payload["seed"]),  # type: ignore[arg-type]
+        converged=bool(payload["converged"]),
+        crash_time_ms=float(payload["crash_time_ms"]),  # type: ignore[arg-type]
+        detection_ms=float(payload["detection_ms"]),  # type: ignore[arg-type]
+        election_ms=float(payload["election_ms"]),  # type: ignore[arg-type]
+        total_ms=float(payload["total_ms"]),  # type: ignore[arg-type]
+        campaign_count=int(payload["campaign_count"]),  # type: ignore[arg-type]
+        split_vote=bool(payload["split_vote"]),
+        winner_id=None if winner_id is None else int(winner_id),  # type: ignore[arg-type]
+        winner_term=None if winner_term is None else int(winner_term),  # type: ignore[arg-type]
+        extra=_tuplify(dict(payload["extra"])),  # type: ignore[arg-type]
+    )
+
+
+def write_measurements_json(
+    path: str | Path,
+    measurement_sets: Mapping[str, MeasurementSet]
+    | Mapping[str, Iterable[ElectionMeasurement]],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write every per-run election measurement, losslessly, to a JSON file.
+
+    Unlike the CSV flattening (which rounds for readability) this keeps every
+    field bit-exact, so :func:`read_measurements_json` reconstructs the
+    original :class:`ElectionMeasurement` records.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, object] = {
+        "metadata": dict(metadata or {}),
+        "cells": {
+            label: [_measurement_to_json(m) for m in measurements]
+            for label, measurements in measurement_sets.items()
+        },
+    }
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return destination
+
+
+def read_measurements_json(path: str | Path) -> dict[str, MeasurementSet]:
+    """Read a JSON election export back into per-label measurement sets."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no such results file: {source}")
+    payload = json.loads(source.read_text())
+    return {
+        label: MeasurementSet(
+            (_measurement_from_json(entry) for entry in entries), label=label
+        )
+        for label, entries in payload["cells"].items()
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Flat aggregate rows (experiments whose results are cells, not raw episodes)
+# --------------------------------------------------------------------------- #
+def write_rows_csv(path: str | Path, rows: Sequence[Mapping[str, object]]) -> Path:
+    """Write a sequence of uniform scalar-valued dicts to one CSV file."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(rows[0]) if rows else []
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return destination
+
+
+def read_rows_csv(path: str | Path) -> list[dict[str, object]]:
+    """Read back a CSV produced by :func:`write_rows_csv` (values as text)."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no such results file: {source}")
+    with source.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def write_rows_json(
+    path: str | Path,
+    rows: Sequence[Mapping[str, object]],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write aggregate rows, losslessly (types preserved), to a JSON file."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"metadata": dict(metadata or {}), "cells": [dict(row) for row in rows]}
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return destination
+
+
+def read_rows_json(path: str | Path) -> list[dict[str, object]]:
+    """Read back the rows written by :func:`write_rows_json`."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no such results file: {source}")
+    return [dict(row) for row in json.loads(source.read_text())["cells"]]
+
+
+# --------------------------------------------------------------------------- #
+# Registry-generic persistence (the CLI's --output path)
+# --------------------------------------------------------------------------- #
+def save_run(run: "ExperimentRun", directory: str | Path) -> dict[str, Path]:
+    """Persist one experiment run through its spec's exporter binding.
+
+    Writes three files into *directory* (created if needed), prefixed with
+    the experiment name so ``all --output DIR`` can share one directory:
+
+    * ``<name>.csv`` -- the raw measurements (or aggregate rows) flattened;
+    * ``<name>.json`` -- a lossless export plus the run's metadata
+      (seed, runs, workers, resolved parameters, notes);
+    * ``<name>.report.txt`` -- the rendered report the CLI printed.
+
+    Returns:
+        Mapping of ``{"csv": ..., "json": ..., "report": ...}`` paths.
+
+    Raises:
+        ConfigurationError: when the experiment's spec declares no exporter.
+    """
+    from repro.experiments import registry
+
+    spec = registry.get(run.name)
+    if spec.exporter is None:
+        raise ConfigurationError(
+            f"experiment {run.name!r} declares no exporter binding; "
+            "it cannot be persisted through the generic export path"
+        )
+    destination = Path(directory)
+    destination.mkdir(parents=True, exist_ok=True)
+    payload = spec.exporter.extract(run.result)
+    metadata = dict(run.metadata(), export_kind=spec.exporter.kind)
+    csv_path = destination / f"{run.name}.csv"
+    json_path = destination / f"{run.name}.json"
+    if spec.exporter.kind == "election":
+        write_measurements_csv(csv_path, payload)
+        write_measurements_json(json_path, payload, metadata=metadata)
+    elif spec.exporter.kind == "availability":
+        write_availability_csv(csv_path, payload)
+        write_availability_json(json_path, payload, metadata=metadata)
+    else:  # "rows" -- validated by ExporterBinding.__post_init__
+        write_rows_csv(csv_path, payload)
+        write_rows_json(json_path, payload, metadata=metadata)
+    report_path = destination / f"{run.name}.report.txt"
+    report_path.write_text(run.report + "\n")
+    return {"csv": csv_path, "json": json_path, "report": report_path}
+
+
+def load_run(name: str, directory: str | Path) -> tuple[dict[str, object], object]:
+    """Load the lossless JSON export written by :func:`save_run`.
+
+    Returns:
+        ``(metadata, payload)``: the run metadata dict, and the payload in
+        the shape the exporter binding extracted -- per-label
+        :class:`MeasurementSet`/:class:`AvailabilitySet` mappings for the
+        ``"election"``/``"availability"`` kinds, a list of row dicts for
+        ``"rows"``.
+    """
+    source = Path(directory) / f"{name}.json"
+    if not source.exists():
+        raise ConfigurationError(f"no such results file: {source}")
+    metadata = json.loads(source.read_text())["metadata"]
+    kind = metadata.get("export_kind")
+    if kind == "election":
+        return metadata, read_measurements_json(source)
+    if kind == "availability":
+        return metadata, read_availability_json(source)
+    if kind == "rows":
+        return metadata, read_rows_json(source)
+    raise ConfigurationError(
+        f"results file {source} carries unknown export kind {kind!r}"
+    )

@@ -16,6 +16,8 @@ from typing import Mapping, Sequence
 from repro.cluster.scenarios import ElectionScenario
 from repro.common.types import Milliseconds
 from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.stats import cumulative_distribution, fraction_at_or_below, summarize
 from repro.metrics.tables import render_table
@@ -125,3 +127,29 @@ def report(result: RandomizationResult) -> str:
             f"({result.runs} runs per range)"
         ),
     )
+
+
+def _export_measurements(result: RandomizationResult) -> Mapping[str, MeasurementSet]:
+    """Exporter binding: the per-range measurement sets."""
+    return result.by_range
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig3",
+        title="Raft election-time CDF vs timeout randomness",
+        paper_ref="Figure 3 / Section III",
+        description=(
+            "5-server Raft cluster, leader crash, six election-timeout "
+            "ranges; the split-vote tail the paper motivates ESCAPE with"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=100,
+        params={
+            "timeout_ranges": PAPER_TIMEOUT_RANGES,
+            "cluster_size": CLUSTER_SIZE,
+        },
+        exporter=ExporterBinding(kind="election", extract=_export_measurements),
+    )
+)

@@ -13,6 +13,8 @@ from typing import Sequence
 
 from repro.common.types import Milliseconds
 from repro.experiments.base import ProgressCallback
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.experiments.fig03_randomization import (
     PAPER_TIMEOUT_RANGES,
     RandomizationResult,
@@ -100,3 +102,34 @@ def report(result: RandomizationAverageResult) -> str:
             f"({result.runs} runs per range)"
         ),
     )
+
+
+def _export_rows(result: RandomizationAverageResult) -> list[dict[str, object]]:
+    """Exporter binding: one aggregate row per timeout range."""
+    return [
+        {
+            "timeout_range": range_label(timeout_range),
+            "detection_ms": result.average_detection_ms[index],
+            "election_ms": result.average_election_ms[index],
+            "total_ms": result.average_total_ms[index],
+        }
+        for index, timeout_range in enumerate(result.timeout_ranges)
+    ]
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig4",
+        title="Average Raft election time vs timeout randomness",
+        paper_ref="Figure 4 / Section III",
+        description=(
+            "the Figure 3 sweep averaged: the randomness trade-off between "
+            "split votes and an inflated detection period"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=100,
+        params={"timeout_ranges": PAPER_TIMEOUT_RANGES},
+        exporter=ExporterBinding(kind="rows", extract=_export_rows),
+    )
+)

@@ -17,6 +17,8 @@ from typing import Mapping, Sequence
 from repro import protocols as protocol_registry
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.stats import cumulative_distribution, reduction_percent, summarize
 from repro.metrics.tables import render_table
@@ -138,3 +140,28 @@ def report(result: ScaleResult) -> str:
             f"({result.runs} runs per cell)"
         ),
     )
+
+
+def _export_measurements(result: ScaleResult) -> Mapping[str, MeasurementSet]:
+    """Exporter binding: the per-(protocol, size) measurement sets."""
+    return result.by_label
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig9",
+        title="ESCAPE vs Raft at increasing cluster sizes",
+        paper_ref="Figure 9 / Section VI-B",
+        description=(
+            "clusters of 8-128 servers under repeated leader crashes; the "
+            "paper's headline 11.6-21.3 % election-time reduction"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=50,
+        params={"sizes": PAPER_SIZES},
+        quick_params={"sizes": (8, 16, 32)},
+        supports_protocols=True,
+        exporter=ExporterBinding(kind="election", extract=_export_measurements),
+    )
+)

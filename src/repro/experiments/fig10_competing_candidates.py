@@ -21,6 +21,8 @@ from typing import Mapping, Sequence
 from repro import protocols as protocol_registry
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.stats import reduction_percent
 from repro.metrics.tables import render_table
@@ -161,3 +163,30 @@ def report(result: CompetingCandidatesResult) -> str:
             f"({result.runs} runs per cell)"
         ),
     )
+
+
+def _export_measurements(
+    result: CompetingCandidatesResult,
+) -> Mapping[str, MeasurementSet]:
+    """Exporter binding: the per-(protocol, size, phases) measurement sets."""
+    return result.by_label
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig10",
+        title="Election time under forced competing-candidate phases",
+        paper_ref="Figure 10 / Section VI-C",
+        description=(
+            "scripted simultaneous timeouts force 0-3 split-vote phases; "
+            "Raft pays ~one timeout per phase, ESCAPE stays flat"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=30,
+        params={"sizes": PAPER_SIZES, "phases": PAPER_PHASES},
+        quick_params={"sizes": (8, 16)},
+        supports_protocols=True,
+        exporter=ExporterBinding(kind="election", extract=_export_measurements),
+    )
+)

@@ -21,6 +21,8 @@ from typing import Mapping, Sequence
 from repro import protocols as protocol_registry
 from repro.cluster.scenarios import ElectionScenario
 from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.stats import reduction_percent
 from repro.metrics.tables import render_table
@@ -149,3 +151,28 @@ def report(result: MessageLossResult) -> str:
             f"({result.runs} runs per cell)"
         ),
     )
+
+
+def _export_measurements(result: MessageLossResult) -> Mapping[str, MeasurementSet]:
+    """Exporter binding: the per-(protocol, size, loss) measurement sets."""
+    return result.by_label
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig11",
+        title="Election time under broadcast message loss",
+        paper_ref="Figure 11 / Section VI-D",
+        description=(
+            "Raft vs Z-Raft vs ESCAPE while every broadcast misses a Δ "
+            "fraction of peers; dynamic rearrangement pays off as Δ grows"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=30,
+        params={"sizes": PAPER_SIZES, "loss_rates": PAPER_LOSS_RATES},
+        quick_params={"sizes": (10,)},
+        supports_protocols=True,
+        exporter=ExporterBinding(kind="election", extract=_export_measurements),
+    )
+)

@@ -7,10 +7,27 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments import registry, run_experiment
 from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.export import load_run
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 EXAMPLES = REPO_ROOT / "examples"
+GOLDEN_REPORTS = REPO_ROOT / "tests" / "golden" / "experiment_reports"
+
+#: The CLI settings the golden reports were captured with (pre-registry code).
+GOLDEN_RUNS = {
+    "fig3": 2,
+    "fig4": 2,
+    "fig9": 1,
+    "fig10": 1,
+    "fig11": 1,
+    "wan": 1,
+    "avail": 1,
+    "ablation-ppf": 1,
+    "ablation-k": 2,
+    "adapter-redis": 2,
+}
 
 
 class TestExperimentsCli:
@@ -82,6 +99,120 @@ class TestExperimentsCli:
         with pytest.raises(SystemExit):
             experiments_main(["wan", "--plan", "chaos-storm"])
         assert "--plan is not supported" in capsys.readouterr().err
+
+    def test_list_prints_the_registry_table_and_exits(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "Registered experiments" in output
+        for name in registry.names():
+            assert name in output
+
+    def test_an_experiment_name_is_required_without_list(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments_main([])
+        assert "required unless --list" in capsys.readouterr().err
+
+    def test_omitted_runs_resolve_to_the_spec_default(self, capsys):
+        # adapter-redis registers default_runs=200; the CLI must not pin its
+        # own global default over the registry's.
+        assert experiments_main(["adapter-redis"]) == 0
+        output = capsys.readouterr().out
+        assert "runs=default" in output
+        assert "(200 runs per cell)" in output
+
+    def test_output_rejected_up_front_for_exporterless_experiments(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.spec import ExperimentSpec
+
+        registry.register(
+            ExperimentSpec(
+                name="no-exporter-fixture",
+                title="Exporterless",
+                run=lambda **kwargs: kwargs,
+                reporter=lambda result: "unreachable",
+            )
+        )
+        try:
+            with pytest.raises(SystemExit):
+                experiments_main(
+                    ["no-exporter-fixture", "--output", str(tmp_path)]
+                )
+        finally:
+            registry.unregister("no-exporter-fixture")
+        # The error fires before the sweep runs, naming the experiment.
+        captured = capsys.readouterr()
+        assert "needs an exporter binding" in captured.err
+        assert "no-exporter-fixture" in captured.err
+        assert not any(tmp_path.iterdir())
+
+    def test_adapter_redis_adjustments_are_noted(self, capsys):
+        assert (
+            experiments_main(
+                ["adapter-redis", "--runs", "2", "--workers", "2", "--quick"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "note: runs raised from 2 to 50" in output
+        assert "note: --workers ignored" in output
+
+    def test_output_dir_round_trips_through_the_generic_export(
+        self, tmp_path, capsys
+    ):
+        assert (
+            experiments_main(
+                [
+                    "fig3",
+                    "--runs",
+                    "2",
+                    "--seed",
+                    "3",
+                    "--quick",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "saved:" in capsys.readouterr().out
+        metadata, loaded = load_run("fig3", tmp_path)
+        assert metadata["runs"] == 2 and metadata["seed"] == 3
+        # The loaded sets must match a programmatic run with the same settings.
+        run = run_experiment("fig3", runs=2, seed=3, quick=True)
+        original = registry.get("fig3").exporter.extract(run.result)
+        assert set(loaded) == set(original)
+        for label, measurement_set in original.items():
+            assert loaded[label].measurements == measurement_set.measurements
+        assert (tmp_path / "fig3.report.txt").read_text() == run.report + "\n"
+
+
+class TestGoldenReports:
+    """The registry-driven CLI reproduces the pre-registry reports exactly.
+
+    The files under ``tests/golden/experiment_reports/`` were captured from
+    the hand-written ``_run_*`` CLI wrappers the registry replaced (runs as
+    in ``GOLDEN_RUNS``, seed 3, quick mode).  Every CLI invocation must
+    still produce byte-identical report tables.
+    """
+
+    def test_every_builtin_experiment_has_a_golden_report(self):
+        assert set(GOLDEN_RUNS) == set(registry.names())
+        for name in GOLDEN_RUNS:
+            assert (GOLDEN_REPORTS / f"{name}.txt").exists()
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+    def test_cli_report_is_byte_identical_to_pre_registry_code(
+        self, name, capsys
+    ):
+        assert (
+            experiments_main(
+                [name, "--runs", str(GOLDEN_RUNS[name]), "--seed", "3", "--quick"]
+            )
+            == 0
+        )
+        golden = (GOLDEN_REPORTS / f"{name}.txt").read_text().rstrip("\n")
+        assert golden in capsys.readouterr().out
 
 
 class TestExamples:

@@ -1,0 +1,311 @@
+"""Conformance suite for the experiment registry.
+
+Every registered :class:`ExperimentSpec` is exercised generically: a quick
+run through :func:`run_experiment` returns a picklable envelope whose report
+matches the spec's reporter, the exporter binding round-trips through the
+generic export path, and the registry-derived rejection messages cover
+unknown names, unsupported sweep-wide options and unsweepable protocols.
+Registering an eleventh experiment automatically subjects it to this suite.
+"""
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentRun,
+    ExperimentSpec,
+    registry,
+    run_experiment,
+)
+from repro.experiments.export import load_run, save_run
+from repro.experiments.spec import CAPABILITIES, EXPORT_KINDS, ExporterBinding
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Tiny run counts so the whole registry smokes in seconds.
+QUICK_RUNS = {"fig3": 2, "fig4": 2, "ablation-k": 2, "adapter-redis": 2}
+
+
+class TestSpecConformance:
+    @pytest.mark.parametrize("name", registry.names())
+    def test_spec_fields_are_complete(self, name):
+        spec = registry.get(name)
+        assert spec.name == name
+        assert spec.title and spec.paper_ref and spec.description
+        assert callable(spec.run) and callable(spec.reporter)
+        assert spec.default_runs >= 1
+        assert set(spec.quick_params) <= set(spec.params)
+        assert set(spec.capabilities) <= set(CAPABILITIES)
+        # Every built-in experiment must be persistable via --output.
+        assert spec.exporter is not None
+        assert spec.exporter.kind in EXPORT_KINDS
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_spec_pickles_by_reference(self, name):
+        spec = registry.get(name)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.name == spec.name
+        assert clone.run is spec.run
+        assert clone.reporter is spec.reporter
+        assert clone.params == spec.params
+
+    def test_invalid_specs_are_rejected(self):
+        good = registry.get("fig3")
+        with pytest.raises(ConfigurationError, match="whitespace"):
+            ExperimentSpec(
+                name="bad name", title="t", run=good.run, reporter=good.reporter
+            )
+        with pytest.raises(ConfigurationError, match="quick_params"):
+            ExperimentSpec(
+                name="ok",
+                title="t",
+                run=good.run,
+                reporter=good.reporter,
+                quick_params={"no_such_param": 1},
+            )
+        with pytest.raises(ConfigurationError, match="exporter kind"):
+            ExporterBinding(kind="no-such-kind", extract=lambda result: result)
+        # Names become export file names; path syntax must be rejected.
+        with pytest.raises(ConfigurationError, match="path"):
+            ExperimentSpec(
+                name="a/b", title="t", run=good.run, reporter=good.reporter
+            )
+        with pytest.raises(ConfigurationError, match="path"):
+            ExperimentSpec(
+                name="..escape", title="t", run=good.run, reporter=good.reporter
+            )
+        with pytest.raises(ConfigurationError, match="capability_overrides"):
+            ExperimentSpec(
+                name="ok",
+                title="t",
+                run=good.run,
+                reporter=good.reporter,
+                capability_overrides={"scenario": "no-such-param"},
+            )
+        with pytest.raises(ConfigurationError, match="capability_overrides"):
+            ExperimentSpec(
+                name="ok",
+                title="t",
+                run=good.run,
+                reporter=good.reporter,
+                params={"knob": 1},
+                capability_overrides={"no-such-capability": "knob"},
+            )
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("name", registry.names())
+    def test_quick_run_returns_conformant_envelope(self, name):
+        spec = registry.get(name)
+        run = run_experiment(name, runs=QUICK_RUNS.get(name, 1), seed=3, quick=True)
+        assert isinstance(run, ExperimentRun)
+        assert run.name == name and run.title == spec.title
+        assert run.seed == 3 and run.quick
+        assert run.report == spec.reporter(run.result)
+        assert run.elapsed_s >= 0.0
+        # Quick-mode overrides land in the resolved parameter record.
+        for key, value in spec.quick_params.items():
+            assert run.parameters[key] == value
+        # The envelope is plain data: it must survive pickling unchanged.
+        clone = pickle.loads(pickle.dumps(run))
+        assert clone.report == run.report
+        assert clone.parameters == run.parameters
+        assert clone.notes == run.notes
+        # The exporter binding understands the result it was registered for.
+        payload = spec.exporter.extract(run.result)
+        assert payload
+
+    def test_unknown_experiment_rejected_with_registered_list(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment") as info:
+            run_experiment("no-such-experiment")
+        assert "fig3" in str(info.value)
+
+    def test_unsupported_scenario_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match="--scenario is not supported by: fig3"
+        ):
+            run_experiment("fig3", scenario="paper-default")
+
+    def test_unsupported_plan_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match="--plan is not supported by: wan"
+        ):
+            run_experiment("wan", plan="chaos-storm")
+
+    def test_unsupported_protocols_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match="--protocols is not supported by: fig3"
+        ):
+            run_experiment("fig3", protocols=("raft",))
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            run_experiment("fig9", protocols=("paxos",))
+
+    def test_liveness_free_protocol_rejected(self):
+        with pytest.raises(ConfigurationError, match="livelock"):
+            run_experiment("fig9", protocols=("raft-fixed", "escape"))
+
+    def test_unknown_parameter_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            run_experiment("fig3", cluster_sizes=(3,))
+
+    def test_min_runs_floor_and_ignored_workers_are_noted(self):
+        run = run_experiment("adapter-redis", runs=2, seed=0, workers=4)
+        assert run.runs == 50
+        assert run.workers is None
+        assert any("raised" in note for note in run.notes)
+        assert any("--workers ignored" in note for note in run.notes)
+
+    def test_capability_value_supersedes_param_in_recorded_metadata(self):
+        """A wan run narrowed to one scenario must not claim the full grid."""
+        run = run_experiment(
+            "wan", runs=1, seed=0, quick=True, scenario="paper-default"
+        )
+        assert run.parameters["scenario"] == "paper-default"
+        assert "conditions" not in run.parameters
+        assert set(run.result.by_label) == {
+            f"{protocol}+paper-default" for protocol in ("raft", "zraft", "escape")
+        }
+        # Capability values are recorded only when they were passed.
+        assert "protocols" not in run.parameters and "plan" not in run.parameters
+
+    def test_quick_overrides_are_declared_not_hardcoded(self):
+        assert registry.get("fig9").resolved_params(quick=True)["sizes"] == (8, 16, 32)
+        assert registry.get("wan").resolved_params(quick=True)["cluster_size"] == 6
+        assert registry.get("fig3").resolved_params(quick=True) == dict(
+            registry.get("fig3").params
+        )
+
+
+class TestGenericExport:
+    def test_election_kind_round_trips(self, tmp_path):
+        run = run_experiment("fig3", runs=2, seed=5, timeout_ranges=((500.0, 900.0),))
+        paths = save_run(run, tmp_path)
+        assert paths["csv"].exists()
+        assert paths["report"].read_text() == run.report + "\n"
+        metadata, loaded = load_run("fig3", tmp_path)
+        assert metadata["seed"] == 5 and metadata["export_kind"] == "election"
+        original = registry.get("fig3").exporter.extract(run.result)
+        assert set(loaded) == set(original)
+        for label, measurement_set in original.items():
+            assert loaded[label].measurements == measurement_set.measurements
+
+    def test_availability_kind_round_trips(self, tmp_path):
+        run = run_experiment(
+            "avail",
+            runs=1,
+            seed=5,
+            quick=True,
+            horizon_ms=10_000.0,
+            protocols=("raft",),
+        )
+        save_run(run, tmp_path)
+        metadata, loaded = load_run("avail", tmp_path)
+        assert metadata["export_kind"] == "availability"
+        original = registry.get("avail").exporter.extract(run.result)
+        for label, availability_set in original.items():
+            assert loaded[label].measurements == availability_set.measurements
+
+    def test_rows_kind_round_trips(self, tmp_path):
+        run = run_experiment("adapter-redis", runs=50, seed=5)
+        save_run(run, tmp_path)
+        metadata, loaded = load_run("adapter-redis", tmp_path)
+        assert metadata["export_kind"] == "rows"
+        assert loaded == registry.get("adapter-redis").exporter.extract(run.result)
+
+    def test_loading_a_missing_run_fails_fast(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such results file"):
+            load_run("fig3", tmp_path)
+
+
+class TestRegistryTables:
+    def test_text_table_lists_every_experiment(self):
+        table = registry.registry_table()
+        for name in registry.names():
+            assert name in table
+
+    def test_markdown_table_lists_every_experiment(self):
+        table = registry.registry_table_markdown()
+        for spec in registry.specs():
+            assert f"`{spec.name}`" in table
+            assert spec.title in table
+
+    def test_experiments_md_registry_table_is_up_to_date(self):
+        """EXPERIMENTS.md embeds the generated table; it must not drift."""
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        lines = text.splitlines()
+        begin = next(
+            index for index, line in enumerate(lines) if "registry-table:begin" in line
+        )
+        end = next(
+            index for index, line in enumerate(lines) if "registry-table:end" in line
+        )
+        embedded = "\n".join(lines[begin + 1 : end])
+        assert embedded == registry.registry_table_markdown(), (
+            "EXPERIMENTS.md registry table is stale; regenerate it with "
+            "PYTHONPATH=src python -c 'from repro.experiments import registry; "
+            "print(registry.registry_table_markdown())'"
+        )
+
+
+def _dummy_run(**kwargs):
+    return kwargs
+
+
+def _dummy_report(result):
+    return "dummy report"
+
+
+class TestRegisterSemantics:
+    def test_duplicate_registration_needs_replace(self):
+        spec = ExperimentSpec(
+            name="dummy-experiment",
+            title="Dummy",
+            paper_ref="--",
+            description="registration semantics fixture",
+            run=_dummy_run,
+            reporter=_dummy_report,
+        )
+        registry.register(spec)
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                registry.register(spec)
+            replacement = ExperimentSpec(
+                name="dummy-experiment",
+                title="Dummy v2",
+                paper_ref="--",
+                description="registration semantics fixture",
+                run=_dummy_run,
+                reporter=_dummy_report,
+            )
+            assert registry.register(replacement, replace=True).title == "Dummy v2"
+            assert registry.titles()["dummy-experiment"] == "Dummy v2"
+        finally:
+            registry.unregister("dummy-experiment")
+        assert not registry.is_registered("dummy-experiment")
+
+    def test_registered_dummy_is_runnable_through_the_one_entry_point(self):
+        registry.register(
+            ExperimentSpec(
+                name="dummy-experiment",
+                title="Dummy",
+                paper_ref="--",
+                description="one-entry-point fixture",
+                run=_dummy_run,
+                reporter=_dummy_report,
+                default_runs=7,
+                params={"knob": "default"},
+                supports_workers=False,
+            )
+        )
+        try:
+            run = run_experiment("dummy-experiment", knob="turned")
+            assert run.runs == 7
+            assert run.result == {"runs": 7, "seed": 0, "knob": "turned"}
+            assert run.report == "dummy report"
+        finally:
+            registry.unregister("dummy-experiment")

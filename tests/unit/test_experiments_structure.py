@@ -18,13 +18,8 @@ from repro.experiments import (
     fig10_competing_candidates,
     fig11_message_loss,
 )
-from repro.experiments.__main__ import (
-    EXPERIMENTS,
-    PLAN_AWARE,
-    PROTOCOL_AWARE,
-    SCENARIO_AWARE,
-    build_parser,
-)
+from repro.experiments import registry
+from repro.experiments.__main__ import build_parser
 from repro.experiments.base import flatten_sets, paired_seeds, run_scenario_set
 from repro.cluster.scenarios import ElectionScenario
 
@@ -292,7 +287,7 @@ class TestCli:
 
     def test_registry_and_parser_agree(self):
         parser = build_parser()
-        for name in EXPERIMENTS:
+        for name in registry.names():
             assert parser.parse_args([name]).experiment == name
 
     def test_scenario_option_accepts_catalog_names(self):
@@ -305,10 +300,11 @@ class TestCli:
             parser.parse_args(["wan", "--scenario", "not-a-condition"])
         assert "chaos-composite" in condition_names()
 
-    def test_scenario_aware_experiments_exist(self):
-        assert SCENARIO_AWARE <= set(EXPERIMENTS)
-        assert "wan" in SCENARIO_AWARE
-        assert "avail" in SCENARIO_AWARE
+    def test_scenario_capable_experiments_exist(self):
+        scenario_capable = registry.supporting("scenario")
+        assert set(scenario_capable) <= set(registry.names())
+        assert "wan" in scenario_capable
+        assert "avail" in scenario_capable
 
     def test_plan_option_accepts_chaos_catalog_names(self):
         from repro.chaos.plans import plan_names
@@ -320,9 +316,8 @@ class TestCli:
             parser.parse_args(["avail", "--plan", "not-a-plan"])
         assert "partition-flap" in plan_names()
 
-    def test_plan_aware_experiments_exist(self):
-        assert PLAN_AWARE <= set(EXPERIMENTS)
-        assert "avail" in PLAN_AWARE
+    def test_plan_capable_experiments_exist(self):
+        assert registry.supporting("plan") == ("avail",)
 
     def test_protocols_option_accepts_registered_names(self):
         parser = build_parser()
@@ -337,8 +332,7 @@ class TestCli:
         with pytest.raises(SystemExit):
             parser.parse_args(["wan", "--protocols", "raft-fixed,escape"])
 
-    def test_protocol_aware_experiments_exist(self):
-        assert PROTOCOL_AWARE <= set(EXPERIMENTS)
+    def test_protocol_capable_experiments_exist(self):
         assert {
             "fig9",
             "fig10",
@@ -346,7 +340,7 @@ class TestCli:
             "wan",
             "avail",
             "ablation-ppf",
-        } == PROTOCOL_AWARE
+        } == set(registry.supporting("protocols"))
 
     def test_default_protocols_come_from_the_registry(self):
         from repro import protocols as protocol_registry
