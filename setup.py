@@ -1,0 +1,11 @@
+"""Compatibility shim for legacy editable installs.
+
+All metadata lives in ``pyproject.toml``; modern pip uses it directly via
+PEP 660.  This shim only exists so ``pip install -e . --no-use-pep517``
+still works on toolchains too old to build editable wheels (setuptools
+without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -52,6 +52,7 @@ __all__ = [
     "get_plan_entry",
     "partition_flap",
     "plan_names",
+    "registered_specs",
     "repeated_leader_kill",
     "rolling_restart",
 ]
@@ -318,6 +319,11 @@ CHAOS_CATALOG: dict[str, ChaosPlanEntry] = _entries(
 def plan_names() -> tuple[str, ...]:
     """Every catalog plan name, in presentation order."""
     return tuple(CHAOS_CATALOG)
+
+
+def registered_specs() -> tuple[tuple[str, ChaosPlanEntry], ...]:
+    """``(name, entry)`` pairs for introspection tooling (``repro.lint`` S1)."""
+    return tuple(CHAOS_CATALOG.items())
 
 
 def get_plan_entry(name: str) -> ChaosPlanEntry:

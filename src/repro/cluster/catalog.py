@@ -38,6 +38,7 @@ __all__ = [
     "NetworkCondition",
     "condition_names",
     "get_condition",
+    "registered_specs",
     "scenario_for",
     "catalog_scenarios",
 ]
@@ -149,6 +150,11 @@ CATALOG: dict[str, NetworkCondition] = _conditions(
 def condition_names() -> tuple[str, ...]:
     """Every catalog condition name, in presentation order."""
     return tuple(CATALOG)
+
+
+def registered_specs() -> tuple[tuple[str, NetworkCondition], ...]:
+    """``(name, condition)`` pairs for introspection tooling (``repro.lint`` S1)."""
+    return tuple(CATALOG.items())
 
 
 def get_condition(name: str) -> NetworkCondition:

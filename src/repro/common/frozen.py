@@ -1,0 +1,69 @@
+"""An immutable, hashable mapping for spec parameter sets.
+
+The registries dispatch frozen dataclasses into the parallel sweep engine's
+process pool, so every spec field must be hashable and picklable.  Plain
+``dict`` fields break that contract (``hash(spec)`` raises), which is exactly
+what the ``repro.lint`` S1 rule rejects.  :class:`FrozenDict` is the
+replacement: a read-only :class:`~collections.abc.Mapping` that preserves
+insertion order for iteration and ``repr`` but hashes order-independently, so
+two specs built from differently-ordered literals still compare and hash
+equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+__all__ = ["FrozenDict"]
+
+
+class FrozenDict(Mapping[str, Any]):
+    """A hashable, immutable mapping with ``dict``-style construction.
+
+    Accepts anything ``dict()`` accepts; equality follows mapping semantics
+    (order-insensitive, interoperable with plain dicts), and the hash is the
+    hash of the item set, so it is defined exactly when every value is
+    hashable -- the property S1 enforces for registered specs.
+    """
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Any = (), **kwargs: Any) -> None:
+        object.__setattr__(self, "_data", dict(data, **kwargs))
+        object.__setattr__(self, "_hash", None)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenDict):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return self._data == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset(self._data.items()))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._data!r})"
+
+    def __reduce__(self):
+        return (type(self), (self._data,))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.common.errors import ConfigurationError
+from repro.common.frozen import FrozenDict
 
 __all__ = [
     "CAPABILITIES",
@@ -121,14 +122,14 @@ class ExperimentSpec:
     paper_ref: str = "--"
     description: str = ""
     default_runs: int = 30
-    params: Mapping[str, object] = field(default_factory=dict)
-    quick_params: Mapping[str, object] = field(default_factory=dict)
+    params: Mapping[str, object] = field(default_factory=FrozenDict)
+    quick_params: Mapping[str, object] = field(default_factory=FrozenDict)
     supports_scenario: bool = False
     supports_protocols: bool = False
     supports_plan: bool = False
     supports_workers: bool = True
     min_runs: int | None = None
-    capability_overrides: Mapping[str, str] = field(default_factory=dict)
+    capability_overrides: Mapping[str, str] = field(default_factory=FrozenDict)
     exporter: ExporterBinding | None = None
 
     def __post_init__(self) -> None:
@@ -156,12 +157,13 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"experiment {self.name!r}: min_runs must be >= 1"
             )
-        # Copy the parameter mappings so a caller-held dict cannot mutate a
-        # "frozen" spec after registration.
-        object.__setattr__(self, "params", dict(self.params))
-        object.__setattr__(self, "quick_params", dict(self.quick_params))
+        # Freeze the parameter mappings: a caller-held dict cannot mutate the
+        # spec after registration, and the spec stays hashable/picklable for
+        # the sweep engine's process pool (the lint S1 contract).
+        object.__setattr__(self, "params", FrozenDict(self.params))
+        object.__setattr__(self, "quick_params", FrozenDict(self.quick_params))
         object.__setattr__(
-            self, "capability_overrides", dict(self.capability_overrides)
+            self, "capability_overrides", FrozenDict(self.capability_overrides)
         )
         stray = set(self.quick_params) - set(self.params)
         if stray:

@@ -1,0 +1,276 @@
+"""The registry rules (``S1`` spec purity, ``S2`` experiment completeness).
+
+Unlike the AST rules these run once per lint invocation: they import the four
+spec registries through their ``registered_specs()`` introspection hooks and
+inspect the *registered values themselves*.  That is deliberate -- the
+reproducibility contract is about what actually reaches the parallel sweep
+engine's process pool, and the registries are the single dispatch layer, so
+checking them covers every spec a plugin can ship without parsing its source.
+
+Findings anchor to the spec class's (or offending callable's) definition
+line, so the same ``repro: allow[rule-id]`` pragma mechanism applies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import pickle
+import pkgutil
+from pathlib import Path
+
+from repro.lint.model import Finding, LintConfig
+
+__all__ = [
+    "check_experiment_registry",
+    "check_registered_specs",
+    "iter_spec_problems",
+    "load_registries",
+]
+
+#: The four spec registries, each enumerated through its
+#: ``registered_specs()`` hook.  Chaos additionally checks the plan each
+#: catalog entry builds (a short horizon keeps it cheap), since the *plan*
+#: is what actually crosses the process boundary.
+def load_registries() -> dict[str, tuple[tuple[str, object], ...]]:
+    """Import the registries and enumerate ``(name, spec)`` pairs per source."""
+    from repro.chaos import plans as chaos_plans
+    from repro.cluster import catalog as net_catalog
+    from repro.experiments import registry as experiment_registry
+    from repro.protocols import registry as protocol_registry
+
+    chaos_specs: list[tuple[str, object]] = []
+    for name, entry in chaos_plans.registered_specs():
+        chaos_specs.append((name, entry))
+        plan = entry.build(horizon_ms=30_000.0, seed=0)
+        chaos_specs.append((f"{name}:plan", plan))
+        chaos_specs.extend(
+            (f"{name}:event[{index}]", event)
+            for index, event in enumerate(plan.events)
+        )
+    return {
+        "protocols": tuple(protocol_registry.registered_specs()),
+        "experiments": tuple(experiment_registry.registered_specs()),
+        "net-conditions": tuple(net_catalog.registered_specs()),
+        "chaos-plans": tuple(chaos_specs),
+    }
+
+
+def _anchor(obj: object) -> tuple[str, int]:
+    """Best-effort (file, line) for a finding about *obj*."""
+    if inspect.isfunction(obj):
+        code = obj.__code__
+        return code.co_filename, code.co_firstlineno
+    cls = obj if inspect.isclass(obj) else type(obj)
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        line = inspect.getsourcelines(cls)[1]
+    except (OSError, TypeError):
+        path, line = "<unknown>", 1
+    return path, line
+
+
+def _is_local_callable(value: object) -> bool:
+    """Whether a callable field cannot pickle by reference (lambda/closure)."""
+    if inspect.isfunction(value):
+        return value.__name__ == "<lambda>" or "<locals>" in value.__qualname__
+    if inspect.ismethod(value):
+        return True
+    return False
+
+
+def iter_spec_problems(registry: str, name: str, spec: object) -> list[Finding]:
+    """Every S1 violation of one registered spec value.
+
+    A pure spec is a frozen dataclass whose fields hold hashable plain values
+    or nested specs, whose callables are module-level (picklable by
+    reference), and whose defaults are immutable -- exactly the properties
+    that let a spec cross the multiprocessing boundary bit-for-bit.
+    """
+    label = f"{registry}:{name}"
+    path, line = _anchor(spec)
+    findings: list[Finding] = []
+
+    def problem(message: str, at: tuple[str, int] | None = None) -> None:
+        where = at or (path, line)
+        findings.append(Finding(where[0], where[1], "S1", message))
+
+    if not dataclasses.is_dataclass(spec) or inspect.isclass(spec):
+        problem(f"registered spec {label} is not a dataclass instance")
+        return findings
+    if not type(spec).__dataclass_params__.frozen:
+        problem(f"registered spec {label} is not frozen (mutable after registration)")
+
+    for field in dataclasses.fields(type(spec)):
+        if field.default_factory is not dataclasses.MISSING and field.default_factory in (
+            list,
+            dict,
+            set,
+        ):
+            problem(
+                f"{label}.{field.name} defaults to a mutable "
+                f"{field.default_factory.__name__}; use an immutable default"
+            )
+        value = getattr(spec, field.name, None)
+        if callable(value) and _is_local_callable(value):
+            problem(
+                f"{label}.{field.name} holds a lambda/closure; spec callables "
+                "must be module-level so they pickle by reference",
+                at=_anchor(value),
+            )
+            continue
+        try:
+            hash(value)
+        except TypeError:
+            problem(
+                f"{label}.{field.name} holds an unhashable "
+                f"{type(value).__name__}; spec fields must be hashable plain "
+                "values or nested specs"
+            )
+
+    try:
+        hash(spec)
+    except TypeError:
+        problem(f"registered spec {label} is not hashable")
+    try:
+        clone = pickle.loads(pickle.dumps(spec))
+    except Exception as exc:  # noqa: BLE001 - report any pickling failure
+        problem(f"registered spec {label} does not pickle: {exc!r}")
+    else:
+        if clone != spec:
+            problem(f"registered spec {label} changes value across pickling")
+    return findings
+
+
+def check_registered_specs(config: LintConfig) -> list[Finding]:
+    """S1 over every spec in all four registries."""
+    findings: list[Finding] = []
+    for registry, pairs in load_registries().items():
+        for name, spec in pairs:
+            findings.extend(iter_spec_problems(registry, name, spec))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
+# S2 -- experiment registry completeness
+# --------------------------------------------------------------------------- #
+def _accepted_keywords(callable_obj) -> tuple[set[str], bool]:
+    """(explicit keyword names, accepts **kwargs) for a run callable."""
+    signature = inspect.signature(callable_obj)
+    names = {
+        parameter.name
+        for parameter in signature.parameters.values()
+        if parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    }
+    var_kw = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in signature.parameters.values()
+    )
+    return names, var_kw
+
+
+def check_experiment_registry(
+    config: LintConfig, specs_by_name=None
+) -> list[Finding]:
+    """S2: each experiments module registers exactly one spec, flags match.
+
+    Checks three things against the live registry (or *specs_by_name*, for
+    tests): every non-infrastructure module under :mod:`repro.experiments`
+    registers exactly one :class:`ExperimentSpec`; every declared capability
+    (``scenario``/``protocols``/``plan``, plus ``workers``) is a keyword its
+    run callable actually accepts; and every declared default parameter is
+    accepted as well, so a spec cannot advertise knobs its run would reject.
+    """
+    findings: list[Finding] = []
+    if specs_by_name is None:
+        import repro.experiments  # noqa: F401 - importing registers the specs
+        from repro.experiments import registry as experiment_registry
+
+        specs_by_name = dict(experiment_registry.registered_specs())
+
+    by_module: dict[str, list[str]] = {}
+    for name, spec in specs_by_name.items():
+        module = getattr(spec.run, "__module__", "")
+        by_module.setdefault(module, []).append(name)
+
+        run_path, run_line = _anchor(spec.run)
+        accepted, var_kw = _accepted_keywords(spec.run)
+
+        required = {"runs", "seed"}
+        required.update(spec.params)
+        required.update(spec.capabilities)
+        if spec.supports_workers:
+            required.update({"workers", "progress"})
+        if not var_kw:
+            for keyword in sorted(required - accepted):
+                findings.append(
+                    Finding(
+                        run_path,
+                        run_line,
+                        "S2",
+                        f"experiment {name!r} declares {keyword!r} (capability "
+                        "flag or default parameter) but its run callable "
+                        "accepts no such keyword",
+                    )
+                )
+        from repro.experiments.spec import CAPABILITIES
+
+        for option in CAPABILITIES:
+            if option in accepted and not getattr(spec, f"supports_{option}"):
+                findings.append(
+                    Finding(
+                        run_path,
+                        run_line,
+                        "S2",
+                        f"experiment {name!r}: run callable accepts {option!r} "
+                        f"but the spec does not declare supports_{option} -- "
+                        "the capability would be silently unreachable",
+                    )
+                )
+
+    for module, names in sorted(by_module.items()):
+        if len(names) > 1 and module.startswith("repro.experiments."):
+            spec = specs_by_name[names[0]]
+            run_path, run_line = _anchor(spec.run)
+            findings.append(
+                Finding(
+                    run_path,
+                    run_line,
+                    "S2",
+                    f"module {module} registers {len(names)} experiment specs "
+                    f"({', '.join(sorted(names))}); each experiments module "
+                    "must register exactly one",
+                )
+            )
+
+    if specs_by_name and all(
+        getattr(spec.run, "__module__", "").startswith("repro.experiments.")
+        for spec in specs_by_name.values()
+    ):
+        import repro.experiments as experiments_package
+
+        package_dir = Path(next(iter(experiments_package.__path__)))
+        registered_modules = {
+            getattr(spec.run, "__module__", "").rsplit(".", 1)[-1]
+            for spec in specs_by_name.values()
+        }
+        for module_info in pkgutil.iter_modules(experiments_package.__path__):
+            short = module_info.name
+            if short in config.experiment_infra_modules:
+                continue
+            if short not in registered_modules:
+                findings.append(
+                    Finding(
+                        str(package_dir / f"{short}.py"),
+                        1,
+                        "S2",
+                        f"experiments module {short!r} registers no "
+                        "ExperimentSpec; every non-infrastructure module must "
+                        "register exactly one",
+                    )
+                )
+    return findings

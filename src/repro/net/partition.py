@@ -53,7 +53,7 @@ class PartitionManager:
                     raise NetworkError(f"S{server_id} appears in two partition groups")
                 cell_of[server_id] = cell_index
         leftover_cell = len(groups)
-        for server_id in self._members:
+        for server_id in sorted(self._members):
             cell_of.setdefault(server_id, leftover_cell)
         self._cell_of = cell_of
 

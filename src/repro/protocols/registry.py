@@ -35,6 +35,7 @@ __all__ = [
     "is_registered",
     "names",
     "register",
+    "registered_specs",
     "specs",
     "title",
     "titles",
@@ -101,6 +102,11 @@ def names() -> tuple[str, ...]:
 def specs() -> tuple[ProtocolSpec, ...]:
     """Every registered spec, in registration order."""
     return tuple(_REGISTRY.values())
+
+
+def registered_specs() -> tuple[tuple[str, ProtocolSpec], ...]:
+    """``(name, spec)`` pairs for introspection tooling (``repro.lint`` S1)."""
+    return tuple(_REGISTRY.items())
 
 
 def title(name: str) -> str:

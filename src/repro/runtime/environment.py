@@ -8,6 +8,7 @@ import random
 import time
 from typing import Any, Callable, Sequence
 
+from repro.common.rng import derive_seed
 from repro.common.types import Milliseconds, ServerId
 from repro.runtime.transport import UdpJsonTransport
 
@@ -47,7 +48,9 @@ class AsyncNodeEnvironment:
     ) -> None:
         self.node_id = node_id
         self._transport = transport
-        self._rng = rng if rng is not None else random.Random(node_id)
+        self._rng = rng if rng is not None else random.Random(
+            derive_seed(0, "runtime", "node", node_id)
+        )
         self._trace_log = trace_log
         self._origin = time.monotonic()
 

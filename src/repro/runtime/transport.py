@@ -14,6 +14,7 @@ import random
 from typing import Any, Callable, Mapping
 
 from repro.common.errors import NetworkError
+from repro.common.rng import derive_seed
 from repro.common.types import Milliseconds, ServerId
 from repro.runtime.codec import decode_datagram, encode_datagram
 
@@ -61,7 +62,9 @@ class UdpJsonTransport:
         self._on_message = on_message
         self._latency_range_ms = latency_range_ms
         self._loss_rate = loss_rate
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random(
+            derive_seed(0, "runtime", "transport", node_id)
+        )
         self._transport: asyncio.DatagramTransport | None = None
         self.sent = 0
         self.received = 0

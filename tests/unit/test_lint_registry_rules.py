@@ -1,0 +1,195 @@
+"""Fixture tests for the registry rules (S1 spec purity, S2 completeness).
+
+The fixture specs are defined at module level so they pickle by reference --
+the point of S1 is that registered values must survive the multiprocessing
+boundary, and a fixture that cannot pickle for unrelated reasons would
+drown the violation under test.
+"""
+
+import dataclasses
+
+from repro.experiments.spec import ExperimentSpec
+from repro.lint.model import DEFAULT_CONFIG
+from repro.lint.rules_registry import (
+    check_experiment_registry,
+    check_registered_specs,
+    iter_spec_problems,
+    load_registries,
+)
+
+
+# --------------------------------------------------------------------------- #
+# S1 fixtures
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass(frozen=True)
+class _PureSpec:
+    name: str
+    sizes: tuple = (3, 5)
+
+
+@dataclasses.dataclass
+class _UnfrozenSpec:
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class _MutableDefaultSpec:
+    name: str
+    params: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class _CallableSpec:
+    name: str
+    run: object = None
+
+
+def _messages(findings):
+    return [finding.message for finding in findings]
+
+
+class TestS1SpecPurity:
+    def test_pure_spec_has_no_problems(self):
+        assert iter_spec_problems("fx", "pure", _PureSpec("pure")) == []
+
+    def test_non_dataclass_is_flagged(self):
+        findings = iter_spec_problems("fx", "raw", {"name": "raw"})
+        assert len(findings) == 1
+        assert "not a dataclass instance" in findings[0].message
+
+    def test_unfrozen_spec_is_flagged(self):
+        findings = iter_spec_problems("fx", "soft", _UnfrozenSpec("soft"))
+        assert any("not frozen" in m for m in _messages(findings))
+
+    def test_mutable_default_and_unhashable_field_are_flagged(self):
+        findings = iter_spec_problems(
+            "fx", "muddy", _MutableDefaultSpec("muddy", params={"k": 1})
+        )
+        messages = _messages(findings)
+        assert any("mutable dict" in m for m in messages)
+        assert any("unhashable dict" in m for m in messages)
+        assert any("not hashable" in m for m in messages)
+
+    def test_lambda_field_is_flagged_at_the_lambda(self):
+        spec = _CallableSpec("sneaky", run=lambda: None)
+        findings = iter_spec_problems("fx", "sneaky", spec)
+        assert any("lambda/closure" in m for m in _messages(findings))
+        # The finding anchors to this test file (where the lambda lives),
+        # not to the dataclass definition.
+        lambda_finding = next(
+            f for f in findings if "lambda/closure" in f.message
+        )
+        assert lambda_finding.path.endswith("test_lint_registry_rules.py")
+
+    def test_all_four_live_registries_are_pure(self):
+        registries = load_registries()
+        assert set(registries) == {
+            "protocols",
+            "experiments",
+            "net-conditions",
+            "chaos-plans",
+        }
+        assert all(pairs for pairs in registries.values())
+        assert check_registered_specs(DEFAULT_CONFIG) == []
+
+
+# --------------------------------------------------------------------------- #
+# S2 fixtures
+# --------------------------------------------------------------------------- #
+def _report(result) -> str:
+    return "fixture report"
+
+
+def _run_full(*, runs, seed, workers=None, progress=None, scenario=None):
+    return None
+
+
+def _run_no_scenario(*, runs, seed, workers=None, progress=None):
+    return None
+
+
+def _run_minimal(*, runs, seed):
+    return None
+
+
+def _s2(specs):
+    return check_experiment_registry(
+        DEFAULT_CONFIG, specs_by_name={spec.name: spec for spec in specs}
+    )
+
+
+class TestS2RegistryCompleteness:
+    def test_matching_flags_pass(self):
+        spec = ExperimentSpec(
+            name="fx-ok",
+            title="fixture",
+            run=_run_full,
+            reporter=_report,
+            supports_scenario=True,
+        )
+        assert _s2([spec]) == []
+
+    def test_declared_capability_missing_from_run_is_flagged(self):
+        spec = ExperimentSpec(
+            name="fx-missing",
+            title="fixture",
+            run=_run_no_scenario,
+            reporter=_report,
+            supports_scenario=True,
+        )
+        findings = _s2([spec])
+        assert len(findings) == 1
+        assert "declares 'scenario'" in findings[0].message
+
+    def test_undeclared_capability_in_run_is_flagged(self):
+        spec = ExperimentSpec(
+            name="fx-hidden",
+            title="fixture",
+            run=_run_full,
+            reporter=_report,
+        )
+        findings = _s2([spec])
+        assert len(findings) == 1
+        assert "silently unreachable" in findings[0].message
+
+    def test_missing_worker_keywords_are_flagged(self):
+        spec = ExperimentSpec(
+            name="fx-serial",
+            title="fixture",
+            run=_run_minimal,
+            reporter=_report,
+        )
+        messages = _messages(_s2([spec]))
+        assert any("'progress'" in m for m in messages)
+        assert any("'workers'" in m for m in messages)
+        # Declaring supports_workers=False makes the same callable complete.
+        quiet = dataclasses.replace(spec, supports_workers=False)
+        assert _s2([quiet]) == []
+
+    def test_two_specs_from_one_experiments_module_are_flagged(self):
+        first = ExperimentSpec(
+            name="fx-a", title="a", run=_run_full, reporter=_report
+        )
+        second = ExperimentSpec(
+            name="fx-b", title="b", run=_run_full, reporter=_report
+        )
+        # Simulate both run callables living in one repro.experiments module.
+        object.__setattr__(first, "run", _fake_module_run_a)
+        object.__setattr__(second, "run", _fake_module_run_b)
+        messages = _messages(_s2([first, second]))
+        assert any("registers 2 experiment specs" in m for m in messages)
+
+    def test_live_experiment_registry_is_complete(self):
+        assert check_experiment_registry(DEFAULT_CONFIG) == []
+
+
+def _fake_module_run_a(*, runs, seed, workers=None, progress=None):
+    return None
+
+
+def _fake_module_run_b(*, runs, seed, workers=None, progress=None):
+    return None
+
+
+_fake_module_run_a.__module__ = "repro.experiments.fx_fixture"
+_fake_module_run_b.__module__ = "repro.experiments.fx_fixture"
