@@ -64,6 +64,9 @@ class ChaosScenario:
         preserve_quorum: skip crash injections that would destroy the voting
             quorum (see :class:`~repro.chaos.driver.ChaosDriver`).
         trace: keep the world trace (disable for large sweeps).
+        engine: simulation engine name (see
+            :attr:`~repro.cluster.scenarios.ElectionScenario.engine`); the
+            empty string defers to the process default.
     """
 
     protocol: str
@@ -80,6 +83,7 @@ class ChaosScenario:
     stabilize_ms: Milliseconds = 120_000.0
     preserve_quorum: bool = True
     trace: bool = False
+    engine: str = ""
 
     def __post_init__(self) -> None:
         # Protocol and network validation live in ElectionScenario; building
@@ -100,11 +104,16 @@ class ChaosScenario:
             fault=self.fault,
             stabilize_ms=self.stabilize_ms,
             trace=self.trace,
+            engine=self.engine,
         )
 
     def with_protocol(self, protocol: str) -> "ChaosScenario":
         """The same condition for a different protocol (paired comparison)."""
         return replace(self, protocol=protocol)
+
+    def with_engine(self, engine: str) -> "ChaosScenario":
+        """The same condition on a different simulation engine."""
+        return replace(self, engine=engine)
 
     # ------------------------------------------------------------------ #
     # Running

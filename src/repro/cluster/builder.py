@@ -38,6 +38,46 @@ TimeoutPolicyFactory = Callable[[ServerId], ElectionTimeoutPolicy | None]
 StateMachineFactory = Callable[[ServerId], StateMachine]
 
 
+class _LeaderTracker:
+    """Maintains the set of running nodes whose role is currently LEADER.
+
+    Every role transition funnels through ``RaftNode._change_role`` (which
+    notifies listeners), so this set is exactly the nodes a full scan for
+    ``is_running and role is LEADER`` would find -- the harness polls
+    :meth:`SimulatedCluster.has_leader` after every executed event, and the
+    scan was the single hottest line of an election sweep.  Crash/recover
+    bypass ``_change_role`` (a stopped leader keeps its role), so
+    :meth:`SimulatedCluster.crash` evicts the crashed server explicitly.
+    """
+
+    __slots__ = ("leader_ids",)
+
+    def __init__(self) -> None:
+        self.leader_ids: set[ServerId] = set()
+
+    def on_role_change(self, node_id, old_role, new_role, term, time_ms) -> None:
+        if new_role is Role.LEADER:
+            self.leader_ids.add(node_id)
+        elif old_role is Role.LEADER:
+            self.leader_ids.discard(node_id)
+
+    # No-op remainder of the NodeListener protocol.
+    def on_election_timeout(self, node_id, term, attempt, time_ms) -> None:
+        return None
+
+    def on_election_started(self, node_id, term, time_ms) -> None:
+        return None
+
+    def on_vote_granted(self, voter_id, candidate_id, term, time_ms) -> None:
+        return None
+
+    def on_leader_elected(self, leader_id, term, votes, time_ms) -> None:
+        return None
+
+    def on_entry_committed(self, node_id, index, term, time_ms) -> None:
+        return None
+
+
 class SimulatedCluster:
     """A set of protocol nodes connected by one simulated network."""
 
@@ -55,6 +95,9 @@ class SimulatedCluster:
         self.network = network
         self.nodes: dict[ServerId, RaftNode] = dict(nodes)
         self._crashed: set[ServerId] = set()
+        self._leader_tracker = _LeaderTracker()
+        for node in self.nodes.values():
+            node.add_listener(self._leader_tracker)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -85,13 +128,12 @@ class SimulatedCluster:
     # ------------------------------------------------------------------ #
     def leader(self) -> RaftNode | None:
         """The running leader with the highest term, if any."""
-        leaders = [
-            node
-            for node in self.running_nodes()
-            if node.role is Role.LEADER
-        ]
-        if not leaders:
+        leader_ids = self._leader_tracker.leader_ids
+        if not leader_ids:
             return None
+        # sorted() keeps the answer deterministic if two leaders ever tie on
+        # term (the old full scan iterated nodes in server-id order).
+        leaders = [self.nodes[server_id] for server_id in sorted(leader_ids)]
         return max(leaders, key=lambda node: node.current_term)
 
     def leader_id(self) -> ServerId | None:
@@ -100,8 +142,25 @@ class SimulatedCluster:
         return leader.node_id if leader else None
 
     def has_leader(self) -> bool:
-        """Whether a running node currently considers itself leader."""
-        return self.leader() is not None
+        """Whether a running node currently considers itself leader.  O(1)."""
+        return bool(self._leader_tracker.leader_ids)
+
+    def has_leader_other_than(self, exclude: ServerId) -> bool:
+        """Whether :meth:`leader` would return a node other than *exclude*.
+
+        The harness polls this after every executed event while waiting for
+        failover convergence, so the common cases (no leader yet; a leader
+        that is not *exclude*) stay O(1) on the tracker set.  Only the
+        ambiguous case -- *exclude* still among the tracked leaders -- falls
+        back to the full highest-term comparison.
+        """
+        leader_ids = self._leader_tracker.leader_ids
+        if not leader_ids:
+            return False
+        if exclude not in leader_ids:
+            return True
+        leader = self.leader()
+        return leader is not None and leader.node_id != exclude
 
     # ------------------------------------------------------------------ #
     # Fault injection
@@ -112,6 +171,10 @@ class SimulatedCluster:
             raise ClusterError(f"S{server_id} is already crashed")
         node = self.node(server_id)
         node.stop()
+        # stop() keeps the node's role (a crashed leader stays LEADER on
+        # disk), so evict it from the live-leader set explicitly; recover()
+        # rejoins as follower, which needs no tracker update.
+        self._leader_tracker.leader_ids.discard(server_id)
         self.network.disconnect(server_id)
         self._crashed.add(server_id)
         self.world.trace("cluster.crash", node=server_id)
@@ -177,6 +240,7 @@ def build_cluster(
     state_machine_factory: StateMachineFactory | None = None,
     trace: bool = True,
     escape_override_factory: TimeoutPolicyFactory | None = None,
+    engine: str | None = None,
 ) -> SimulatedCluster:
     """Build a ready-to-start simulated cluster.
 
@@ -202,6 +266,11 @@ def build_cluster(
         escape_override_factory: deprecated alias for
             ``timeout_override_factory`` (the override never applied only to
             ESCAPE -- Z-Raft consumed it too).
+        engine: simulation engine name registered in
+            :mod:`repro.sim.engines` (``"classic"`` or ``"flat"``); ``None``
+            uses the session default.  Engines are bit-identical -- same
+            measurements, stats and traces for the same seed -- and differ
+            only in speed and in-run observability.
     """
     if escape_override_factory is not None:
         warnings.warn(
@@ -220,8 +289,10 @@ def build_cluster(
     spec = protocols.get(protocol)
     cluster_config = ClusterConfig.of_size(size)
     config = protocol_config or ProtocolConfig.paper_defaults()
-    world = SimulationWorld(seed=seed, trace=trace)
-    network = SimulatedNetwork(
+    world = SimulationWorld(seed=seed, trace=trace, engine=engine)
+    network_class = world.engine.network_class()
+    environment_class = world.engine.environment_class()
+    network = network_class(
         world,
         cluster_config.server_ids,
         latency=latency if latency is not None else UniformLatency(100.0, 200.0),
@@ -231,7 +302,7 @@ def build_cluster(
     nodes: dict[ServerId, RaftNode] = {}
     shared_listeners = list(listeners)
     for server_id in cluster_config.server_ids:
-        env = SimNodeEnvironment(world, network, server_id)
+        env = environment_class(world, network, server_id)
         node = spec.build_node(
             node_id=server_id,
             cluster=cluster_config,

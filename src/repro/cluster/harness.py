@@ -85,9 +85,10 @@ class ElectionHarness:
         crash_time = self._cluster.world.now()
         scheduler = self._cluster.world.scheduler
 
+        has_leader_other_than = self._cluster.has_leader_other_than
+
         def new_leader_running() -> bool:
-            leader = self._cluster.leader()
-            return leader is not None and leader.node_id != crashed_leader
+            return has_leader_other_than(crashed_leader)
 
         converged = scheduler.run_until_condition(
             new_leader_running, max_time_ms=crash_time + max_election_ms

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro import protocols as protocol_registry
+from repro.sim import engines as engine_registry
 from repro.cluster.builder import SimulatedCluster, build_cluster
 from repro.cluster.harness import ElectionHarness
 from repro.cluster.observers import ElectionObserver
@@ -70,6 +71,12 @@ class ElectionScenario:
         stabilize_ms: budget for electing the initial leader.
         max_election_ms: budget for the measured election.
         trace: keep the world trace (disable for large sweeps).
+        engine: simulation engine name from :mod:`repro.sim.engines`
+            (e.g. ``"classic"``, ``"flat"``); the empty string defers to the
+            process default (:func:`repro.sim.engines.default_engine_name`),
+            so sweeps inherit the runner's ``--engine`` selection.  Engines
+            are bit-identical by contract, so this never changes results --
+            only how fast they arrive.
     """
 
     protocol: str
@@ -87,12 +94,15 @@ class ElectionScenario:
     stabilize_ms: Milliseconds = 120_000.0
     max_election_ms: Milliseconds = 120_000.0
     trace: bool = False
+    engine: str = ""
 
     def __post_init__(self) -> None:
         # Fail fast with the registry's own error (it lists every registered
         # name) instead of deep inside build(); unpickling skips this, so a
         # sweep worker never re-validates what the parent already accepted.
         protocol_registry.get(self.protocol)
+        if self.engine:
+            engine_registry.get(self.engine)
 
     # ------------------------------------------------------------------ #
     # Derived pieces
@@ -136,6 +146,11 @@ class ElectionScenario:
         """The same condition for a different protocol (paired comparison)."""
         return replace(self, protocol=protocol)
 
+    def with_engine(self, engine: str) -> "ElectionScenario":
+        """The same condition on a different simulation engine (differential
+        testing and benchmarking; results are engine-invariant by contract)."""
+        return replace(self, engine=engine)
+
     # ------------------------------------------------------------------ #
     # Running
     # ------------------------------------------------------------------ #
@@ -167,6 +182,7 @@ class ElectionScenario:
             timeout_policy_factory=timeout_policy_factory,
             timeout_override_factory=override_factory,
             trace=self.trace,
+            engine=self.engine or None,
         )
         return cluster, ElectionHarness(cluster, observer)
 

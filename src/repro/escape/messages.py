@@ -27,7 +27,7 @@ from repro.raft.messages import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EscapeRequestVoteRequest(RequestVoteRequest):
     """RequestVote extended with the candidate's configuration metadata."""
 
@@ -35,7 +35,7 @@ class EscapeRequestVoteRequest(RequestVoteRequest):
     priority: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EscapeAppendEntriesRequest(AppendEntriesRequest):
     """AppendEntries extended with the follower's newly assigned configuration.
 
@@ -47,7 +47,7 @@ class EscapeAppendEntriesRequest(AppendEntriesRequest):
     new_config: Configuration | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EscapeAppendEntriesResponse(AppendEntriesResponse):
     """AppendEntries reply extended with the follower's ``configStatus``."""
 

@@ -28,6 +28,9 @@ registered in :mod:`repro.protocols` (unknown names are rejected with the
 list of registered ones; so are protocols that do not guarantee leader
 election, since every sweep must stabilise one).  ``--plan NAME`` selects
 the chaos fault timeline from :data:`repro.chaos.plans.CHAOS_CATALOG`.
+``--engine NAME`` selects the simulation engine from
+:mod:`repro.sim.engines` (engines are bit-identical by contract, so this
+changes wall-clock time only; the default honours ``REPRO_ENGINE``).
 ``--output DIR`` saves every experiment's raw measurements (CSV), a lossless
 JSON export with the run metadata, and the rendered report.
 
@@ -48,6 +51,7 @@ from repro.common.errors import ConfigurationError
 from repro.experiments import registry
 from repro.experiments.base import print_progress
 from repro.experiments.export import save_run
+from repro.sim import engines as engine_registry
 
 
 def _worker_count(value: str) -> int:
@@ -148,6 +152,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=engine_registry.names(),
+        default=None,
+        help=(
+            "simulation engine (default: the REPRO_ENGINE environment "
+            "variable, else 'classic'); engines are bit-identical by "
+            "contract, so this changes wall-clock time only"
+        ),
+    )
+    parser.add_argument(
         "--output",
         metavar="DIR",
         default=None,
@@ -196,6 +210,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             option_note += f", protocols={','.join(args.protocols)}"
         if args.plan:
             option_note += f", plan={args.plan}"
+        if args.engine:
+            option_note += f", engine={args.engine}"
         runs_note = "default" if args.runs is None else args.runs
         print(
             f"== {name} (runs={runs_note}, seed={args.seed}, "
@@ -212,6 +228,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             scenario=args.scenario,
             protocols=args.protocols,
             plan=args.plan,
+            engine=args.engine,
         )
         for note in run.notes:
             print(f"   note: {note}", flush=True)

@@ -31,6 +31,7 @@ from typing import Sequence
 
 from repro import protocols as protocol_registry
 from repro.common.errors import ConfigurationError
+from repro.sim import engines as engine_registry
 from repro.experiments.spec import (
     CAPABILITIES,
     ExperimentRun,
@@ -204,6 +205,7 @@ def run_experiment(
     scenario: str | None = None,
     protocols: Sequence[str] | None = None,
     plan: str | None = None,
+    engine: str | None = None,
     **param_overrides: object,
 ) -> ExperimentRun:
     """Run one registered experiment and return its structured envelope.
@@ -222,6 +224,12 @@ def run_experiment(
         protocols: protocol names replacing the experiment's default
             comparison (protocol-capable experiments).
         plan: named chaos plan (plan-capable experiments).
+        engine: simulation engine name from :mod:`repro.sim.engines`
+            (``None`` keeps the process default).  Engines are bit-identical
+            by contract, so this changes wall-clock time only; the resolved
+            name is recorded on the returned envelope.  The selection is
+            installed as the process default for the duration of the run, so
+            sweep workers and scenario builds inherit it.
         **param_overrides: overrides for the spec's declared parameters
             (e.g. ``sizes=(8, 16)`` for ``fig9``).
 
@@ -271,7 +279,8 @@ def run_experiment(
     # elapsed_s is run *metadata* (how long the sweep took on this machine),
     # never an input to the simulation, so the wall clock is legitimate here.
     started = time.perf_counter()  # repro: allow[D1]
-    result = spec.run(**call_kwargs)
+    with engine_registry.using_engine(engine) as resolved_engine:
+        result = spec.run(**call_kwargs)
     elapsed_s = time.perf_counter() - started  # repro: allow[D1]
 
     # Recorded provenance: the declared defaults, with any parameter a
@@ -301,6 +310,7 @@ def run_experiment(
         elapsed_s=elapsed_s,
         parameters=parameters,
         notes=tuple(notes),
+        engine=resolved_engine,
     )
 
 

@@ -34,6 +34,8 @@ from repro.common.errors import SweepError
 from repro.experiments.base import ProgressCallback, paired_seeds
 from repro.metrics.records import ElectionMeasurement, MeasurementSet
 from repro.protocols import ProtocolSpec
+from repro.sim import engines
+from repro.sim.engines import EngineSpec
 
 __all__ = [
     "SetFactory",
@@ -112,8 +114,29 @@ def _swept_specs(scenarios: Mapping[str, ElectionScenario]) -> tuple[ProtocolSpe
     )
 
 
-def _register_worker_specs(specs: tuple[ProtocolSpec, ...]) -> None:
-    """Pool initializer: mirror the parent's protocol registrations.
+def _swept_engine_specs(
+    scenarios: Mapping[str, ElectionScenario],
+) -> tuple[EngineSpec, ...]:
+    """The engine specs named by the sweep's scenarios (deduplicated).
+
+    Mirrors :func:`_swept_specs`: a scenario may pin a custom engine the
+    parent registered at runtime, which ``spawn`` workers would not know.
+    """
+    names = {getattr(scenario, "engine", "") for scenario in scenarios.values()}
+    names.add(engines.default_engine_name())
+    return tuple(
+        engines.get(name)
+        for name in sorted(name for name in names if name)
+        if engines.is_registered(name)
+    )
+
+
+def _register_worker_specs(
+    specs: tuple[ProtocolSpec, ...],
+    engine_specs: tuple[EngineSpec, ...] = (),
+    default_engine: str | None = None,
+) -> None:
+    """Pool initializer: mirror the parent's protocol and engine registrations.
 
     ``spawn`` workers re-import :mod:`repro.protocols` and therefore only see
     the built-in registrations; any custom spec the parent registered would
@@ -123,9 +146,20 @@ def _register_worker_specs(specs: tuple[ProtocolSpec, ...]) -> None:
     ``replace=True`` so a built-in the parent *replaced* is mirrored too
     (under ``fork`` the worker inherits the parent registry and this is a
     no-op).
+
+    The parent's *resolved* default engine travels the same way: scenarios
+    with an empty ``engine`` field resolve against the worker's process
+    default, so without this a ``spawn`` worker would silently fall back to
+    ``"classic"`` even when the parent selected ``--engine flat``.  Engines
+    are bit-identical by contract, so this is a performance guarantee, not a
+    correctness one.
     """
     for spec in specs:
         protocols.register(spec, replace=True)
+    for engine_spec in engine_specs:
+        engines.register(engine_spec, replace=True)
+    if default_engine is not None:
+        engines.set_default_engine(default_engine)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext | None:
@@ -252,7 +286,11 @@ def run_sweep(
     with context.Pool(
         processes=min(workers, len(items)),
         initializer=_register_worker_specs,
-        initargs=(_swept_specs(scenarios),),
+        initargs=(
+            _swept_specs(scenarios),
+            _swept_engine_specs(scenarios),
+            engines.default_engine_name(),
+        ),
     ) as pool:
         for outcome in pool.imap_unordered(
             _execute_item, items, chunksize=_chunk_size(len(items), workers)

@@ -235,6 +235,10 @@ class ExperimentRun:
     elapsed_s: float
     parameters: Mapping[str, object] = field(default_factory=dict)
     notes: tuple[str, ...] = ()
+    #: The resolved simulation engine the run executed on (engines are
+    #: bit-identical by contract, so this is provenance for the *timing*
+    #: metadata, never for the results).
+    engine: str = "classic"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parameters", dict(self.parameters))
@@ -248,6 +252,7 @@ class ExperimentRun:
             "seed": self.seed,
             "quick": self.quick,
             "workers": self.workers,
+            "engine": self.engine,
             "elapsed_s": round(self.elapsed_s, 3),
             "parameters": {
                 key: value for key, value in sorted(self.parameters.items())

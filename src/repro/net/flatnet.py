@@ -1,0 +1,345 @@
+"""The ``flat`` engine's network fabric: envelope-free, allocation-lean.
+
+:class:`FlatNetwork` subclasses :class:`~repro.net.network.SimulatedNetwork`
+-- registration, connectivity control, partition management and the
+:class:`~repro.net.network.NetworkStats` counters are inherited unchanged --
+and replaces the hot send/broadcast/delivery paths:
+
+* deliveries are pushed straight onto the flat scheduler's heap as 4-slot
+  records (``[time, seq, self._deliver_fast, (src, dst, payload)]``); no
+  :class:`~repro.net.message.Envelope`, no closure, no label f-string and no
+  scheduler call frame per message.  ``send`` returns ``None`` and
+  ``broadcast`` returns ``[]`` -- envelope receipts are ``classic``-engine
+  observability, and nothing in the node/harness layers consumes them;
+* the latency sampler is inlined for the common models:
+  :class:`~repro.net.latency.UniformLatency` becomes
+  ``low + spread * rng.random()`` (bit-identical to ``rng.uniform`` --
+  CPython computes exactly ``a + (b - a) * random()``) and
+  :class:`~repro.net.latency.ConstantLatency` skips the call entirely (it
+  draws nothing); every other model goes through its ``sample`` hook;
+* fault hooks that provably draw no randomness *and* always answer "don't
+  drop" are skipped: :class:`~repro.net.faults.NoFault` everywhere,
+  :class:`~repro.net.faults.BroadcastOmissionFault` unicasts when
+  ``affect_unicast`` is off, and
+  :class:`~repro.net.faults.MessageDuplicationFault` drop checks.  Anything
+  else (including :class:`~repro.net.faults.LinkFault`, which draws nothing
+  but can drop) is called exactly like the classic engine, preserving the
+  fault RNG stream draw-for-draw;
+* partition reachability is the manager's identity-stable
+  :attr:`~repro.net.partition.PartitionManager.cell_map` dict, held once at
+  construction and tested with ``if cells and cells[src] != cells[dst]``
+  per message instead of a ``can_communicate`` call;
+* broadcasts run in a single pass with every per-message attribute lookup
+  hoisted out of the loop.  The pass keeps the classic per-destination
+  order -- latency draw, then duplication check, then the duplicate's
+  latency draw -- so the latency and fault RNG streams stay bit-identical.
+
+The drop bookkeeping (stats + ``net.drop`` traces, including the in-flight
+variants) mirrors :class:`SimulatedNetwork` exactly; the differential suite
+asserts equality of stats and traces across engines.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappush
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.errors import NetworkError, SimulationError
+from repro.common.types import ServerId
+from repro.net.faults import (
+    BroadcastOmissionFault,
+    FaultInjector,
+    MessageDuplicationFault,
+    NoFault,
+)
+from repro.net.latency import ConstantLatency, LatencyModel, UniformLatency
+from repro.net.network import SimulatedNetwork
+from repro.sim.world import SimulationWorld
+
+__all__ = ["FlatNetwork"]
+
+_INF = math.inf
+
+
+class FlatNetwork(SimulatedNetwork):
+    """Envelope-free network fabric, bit-identical to the classic one.
+
+    Requires a world built with the ``flat`` engine: the network reaches
+    into :class:`~repro.sim.flatcore.FlatEventScheduler` internals (its heap
+    list and sequence counter -- both engine-owned, and the heap's identity
+    is stable across compactions by design) to push delivery records without
+    a call frame.  :func:`repro.cluster.builder.build_cluster` guarantees
+    the pairing through the engine spec.
+    """
+
+    def __init__(
+        self,
+        world: SimulationWorld,
+        members: Iterable[ServerId],
+        latency: LatencyModel | None = None,
+        fault: FaultInjector | None = None,
+    ) -> None:
+        super().__init__(world, members, latency=latency, fault=fault)
+        self._member_set = frozenset(self._members)
+        scheduler = world.scheduler
+        self._flat_scheduler = scheduler
+        # Engine-internal coupling: the flat scheduler compacts its heap in
+        # place (slice assignment), so this list reference stays valid for
+        # the scheduler's lifetime.
+        self._heap: list[list] = scheduler._heap
+        self._clock = world.clock
+        self._rng_random = self._latency_rng.random
+        # Identity-stable: PartitionManager mutates this dict on
+        # partition()/heal(); empty means no partition installed.
+        self._cells = self._partitions.cell_map
+        # stats is assigned exactly once (in SimulatedNetwork.__init__) and
+        # _handlers is only ever mutated in place by register(), so both
+        # aliases stay valid for the network's lifetime.
+        self._stats = self.stats
+        self._handler_for = self._handlers.get
+        self._configure_latency_fast_path()
+        self._configure_fault_fast_path()
+
+    # ------------------------------------------------------------------ #
+    # Fast-path configuration
+    # ------------------------------------------------------------------ #
+    def _configure_latency_fast_path(self) -> None:
+        latency = self._latency
+        self._uniform_low: float | None = None
+        self._uniform_spread = 0.0
+        self._constant_latency: float | None = None
+        # Exact type checks: a subclass could override sample(), so only the
+        # library's own models are inlined.
+        if type(latency) is UniformLatency:
+            self._uniform_low = latency.low_ms
+            self._uniform_spread = latency.high_ms - latency.low_ms
+        elif type(latency) is ConstantLatency:
+            self._constant_latency = latency.latency_ms
+        self._sample_latency = latency.sample
+
+    def _configure_fault_fast_path(self) -> None:
+        fault = self._fault
+        fault_type = type(fault)
+        # Skip flags are only set where the hook provably draws no RNG and
+        # always answers "don't drop"; everything else calls the hook exactly
+        # like the classic engine so the fault stream stays draw-identical.
+        self._skip_unicast_fault = (
+            fault_type is NoFault
+            or fault_type is MessageDuplicationFault
+            or (fault_type is BroadcastOmissionFault and not fault.affect_unicast)
+        )
+        self._skip_broadcast_fault = (
+            fault_type is NoFault or fault_type is MessageDuplicationFault
+        )
+        self._duplicator = getattr(fault, "should_duplicate", None)
+
+    def set_fault(self, fault: FaultInjector) -> None:
+        """Replace the fault injector and recompute its fast-path flags."""
+        super().set_fault(fault)
+        self._configure_fault_fast_path()
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def send(self, src: ServerId, dst: ServerId, payload: Any) -> None:
+        """Send one point-to-point message.
+
+        Unlike the classic engine this returns ``None`` even for messages
+        put in flight: the flat engine materialises no envelopes (engine
+        contract -- receipts are classic-engine observability).
+        """
+        member_set = self._member_set
+        if src not in member_set or dst not in member_set:
+            self._require_member(src)
+            self._require_member(dst)
+        stats = self._stats
+        stats.sent += 1
+        per_type = stats.per_type_sent
+        name = type(payload).__name__
+        try:
+            per_type[name] += 1
+        except KeyError:
+            per_type[name] = 1
+        if src in self._disconnected:
+            stats.dropped_disconnected += 1
+            self._world.trace("net.drop", node=src, dst=dst, reason="disconnected")
+            return None
+        if not self._skip_unicast_fault and self._fault.drop_unicast(
+            self._fault_rng, src, dst
+        ):
+            stats.dropped_by_fault += 1
+            self._world.trace("net.drop", node=src, dst=dst, reason="fault")
+            return None
+        cells = self._cells
+        if cells and cells[src] != cells[dst]:
+            stats.dropped_by_partition += 1
+            self._world.trace("net.drop", node=src, dst=dst, reason="partition")
+            return None
+        low = self._uniform_low
+        if low is not None:
+            latency = low + self._uniform_spread * self._rng_random()
+        elif self._constant_latency is not None:
+            latency = self._constant_latency
+        else:
+            latency = self._sample_latency(self._latency_rng, src, dst)
+        time_ms = self._clock._now_ms + latency
+        if not time_ms < _INF:  # rejects +inf and NaN in one comparison
+            raise SimulationError(
+                f"cannot schedule event at non-finite time: {time_ms!r}"
+            )
+        scheduler = self._flat_scheduler
+        seq = scheduler._sequence
+        scheduler._sequence = seq + 1
+        heappush(self._heap, [time_ms, seq, self._deliver_fast, (src, dst, payload)])
+        duplicator = self._duplicator
+        if duplicator is not None and duplicator(self._fault_rng, src, dst):
+            stats.duplicated += 1
+            if low is not None:
+                latency = low + self._uniform_spread * self._rng_random()
+            elif self._constant_latency is not None:
+                latency = self._constant_latency
+            else:
+                latency = self._sample_latency(self._latency_rng, src, dst)
+            time_ms = self._clock._now_ms + latency
+            if not time_ms < _INF:
+                raise SimulationError(
+                    f"cannot schedule event at non-finite time: {time_ms!r}"
+                )
+            seq = scheduler._sequence
+            scheduler._sequence = seq + 1
+            heappush(
+                self._heap, [time_ms, seq, self._deliver_fast, (src, dst, payload)]
+            )
+        return None
+
+    def broadcast(
+        self,
+        src: ServerId,
+        targets: Sequence[ServerId],
+        payload_factory: Callable[[ServerId], Any],
+    ) -> list:
+        """Broadcast to *targets* in one batched pass.
+
+        Returns ``[]`` (no envelopes; see :meth:`send`).  The per-target
+        order of RNG draws -- latency, duplication check, duplicate latency
+        -- matches the classic engine exactly.
+        """
+        member_set = self._member_set
+        if src not in member_set:
+            self._require_member(src)
+        stats = self._stats
+        stats.broadcast_count += 1
+        per_type = stats.per_type_sent
+        if src in self._disconnected:
+            # Mirror the unicast path: every attempted message is counted as
+            # sent *and* dropped (the payload factory is pure; see the
+            # classic broadcast()).
+            trace = self._world.trace
+            for dst in targets:
+                name = type(payload_factory(dst)).__name__
+                stats.sent += 1
+                per_type[name] = per_type.get(name, 0) + 1
+                stats.dropped_disconnected += 1
+                trace("net.drop", node=src, dst=dst, reason="disconnected")
+            return []
+        if self._skip_broadcast_fault:
+            omitted: frozenset[ServerId] | tuple = ()
+        else:
+            omitted = self._fault.omitted_broadcast_targets(
+                self._fault_rng, src, list(targets)
+            )
+        cells = self._cells
+        rng_random = self._rng_random
+        low = self._uniform_low
+        spread = self._uniform_spread
+        constant = self._constant_latency
+        sample = self._sample_latency
+        latency_rng = self._latency_rng
+        duplicator = self._duplicator
+        fault_rng = self._fault_rng
+        deliver = self._deliver_fast
+        heap = self._heap
+        scheduler = self._flat_scheduler
+        now = self._clock._now_ms
+        # The sequence counter can be carried in a local: payload factories
+        # and fault hooks are pure reads / RNG draws (documented contract),
+        # so nothing schedules events while this loop runs.
+        seq = scheduler._sequence
+        for dst in targets:
+            payload = payload_factory(dst)
+            stats.sent += 1
+            name = type(payload).__name__
+            try:
+                per_type[name] += 1
+            except KeyError:
+                per_type[name] = 1
+            if dst in omitted:
+                stats.dropped_by_fault += 1
+                self._world.trace(
+                    "net.drop", node=src, dst=dst, reason="broadcast_omission"
+                )
+                continue
+            if dst not in member_set:
+                scheduler._sequence = seq
+                raise NetworkError(f"unknown servers S{src} or S{dst}")
+            if cells and cells[src] != cells[dst]:
+                stats.dropped_by_partition += 1
+                self._world.trace("net.drop", node=src, dst=dst, reason="partition")
+                continue
+            if low is not None:
+                latency = low + spread * rng_random()
+            elif constant is not None:
+                latency = constant
+            else:
+                latency = sample(latency_rng, src, dst)
+            time_ms = now + latency
+            if not time_ms < _INF:
+                scheduler._sequence = seq
+                raise SimulationError(
+                    f"cannot schedule event at non-finite time: {time_ms!r}"
+                )
+            heappush(heap, [time_ms, seq, deliver, (src, dst, payload)])
+            seq += 1
+            if duplicator is not None and duplicator(fault_rng, src, dst):
+                stats.duplicated += 1
+                if low is not None:
+                    latency = low + spread * rng_random()
+                elif constant is not None:
+                    latency = constant
+                else:
+                    latency = sample(latency_rng, src, dst)
+                time_ms = now + latency
+                if not time_ms < _INF:
+                    scheduler._sequence = seq
+                    raise SimulationError(
+                        f"cannot schedule event at non-finite time: {time_ms!r}"
+                    )
+                heappush(heap, [time_ms, seq, deliver, (src, dst, payload)])
+                seq += 1
+        scheduler._sequence = seq
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
+    def _deliver_fast(self, item: tuple[ServerId, ServerId, Any]) -> None:
+        src, dst, payload = item
+        if dst in self._disconnected:
+            self._stats.dropped_disconnected += 1
+            self._world.trace(
+                "net.drop", node=src, dst=dst, reason="disconnected", in_flight=True
+            )
+            return
+        cells = self._cells
+        if cells and cells[src] != cells[dst]:
+            self._stats.dropped_by_partition += 1
+            self._world.trace(
+                "net.drop", node=src, dst=dst, reason="partition", in_flight=True
+            )
+            return
+        handler = self._handler_for(dst)
+        if handler is None:
+            raise NetworkError(f"no handler registered for S{dst}")
+        self._stats.delivered += 1
+        handler(src, payload)

@@ -5,6 +5,21 @@ latency, subject to fault injection (message loss), partitions, and node
 disconnection (used to model crashed servers).  Delivery happens through the
 shared :class:`~repro.sim.world.SimulationWorld` scheduler, so the whole run
 stays deterministic.
+
+This class is the ``classic`` engine's network implementation *and* the
+definition of the engine-seam contract (see :mod:`repro.sim.engines`): the
+public surface -- ``send``/``broadcast``/``register``, connectivity control,
+``NetworkStats``, the partition manager, and the ``net.drop`` trace schema --
+is what scenarios and nodes may rely on; envelope materialisation and
+delivery internals are engine-owned (the ``flat`` engine in
+:mod:`repro.net.flatnet` schedules deliveries without envelopes and returns
+``None``/``[]`` from ``send``/``broadcast``).
+
+Every dropped message emits one ``net.drop`` trace with a ``reason`` of
+``"fault"``, ``"broadcast_omission"``, ``"partition"`` or ``"disconnected"``;
+drops that happen at delivery time rather than send time additionally carry
+``in_flight=True``.  Stats and traces therefore account for exactly the same
+set of drops.
 """
 
 from __future__ import annotations
@@ -146,6 +161,7 @@ class SimulatedNetwork:
         self.stats.record_sent(payload)
         if src in self._disconnected:
             self.stats.dropped_disconnected += 1
+            self._world.trace("net.drop", node=src, dst=dst, reason="disconnected")
             return None
         if self._fault.drop_unicast(self._fault_rng, src, dst):
             self.stats.dropped_by_fault += 1
@@ -184,6 +200,9 @@ class SimulatedNetwork:
             for dst in targets:
                 self.stats.record_sent(payload_factory(dst))
                 self.stats.dropped_disconnected += 1
+                self._world.trace(
+                    "net.drop", node=src, dst=dst, reason="disconnected"
+                )
             return []
         omitted = self._fault.omitted_broadcast_targets(
             self._fault_rng, src, list(targets)
@@ -243,9 +262,23 @@ class SimulatedNetwork:
             # matching a process kill on a real network (packets on the wire
             # are not recalled).
             self.stats.dropped_disconnected += 1
+            self._world.trace(
+                "net.drop",
+                node=envelope.src,
+                dst=dst,
+                reason="disconnected",
+                in_flight=True,
+            )
             return
         if not self._partitions.can_communicate(envelope.src, dst):
             self.stats.dropped_by_partition += 1
+            self._world.trace(
+                "net.drop",
+                node=envelope.src,
+                dst=dst,
+                reason="partition",
+                in_flight=True,
+            )
             return
         handler = self._handlers.get(dst)
         if handler is None:

@@ -24,7 +24,10 @@ class PartitionManager:
         self._members = frozenset(members)
         if not self._members:
             raise NetworkError("partition manager requires at least one member")
-        self._cell_of: dict[ServerId, int] | None = None
+        # Mutated in place (never rebound) so engines can cache the dict:
+        # empty means "no partition installed".
+        self._cell_of: dict[ServerId, int] = {}
+        self._version = 0
 
     @property
     def members(self) -> frozenset[ServerId]:
@@ -32,9 +35,30 @@ class PartitionManager:
         return self._members
 
     @property
+    def version(self) -> int:
+        """Monotone counter bumped by every :meth:`partition`/:meth:`heal`.
+
+        Engines cache the reachability table and use this to invalidate the
+        cache instead of paying a :meth:`can_communicate` call per delivery.
+        """
+        return self._version
+
+    @property
+    def cell_map(self) -> dict[ServerId, int]:
+        """The current server -> cell assignment (empty when healed).
+
+        The returned dict's identity is stable for the manager's lifetime --
+        :meth:`partition`/:meth:`heal` mutate it in place -- so engine fast
+        paths may hold it and test ``if cells and cells[src] != cells[dst]``
+        per message instead of calling :meth:`can_communicate`.  Treat it as
+        read-only; :attr:`version` counts the mutations.
+        """
+        return self._cell_of
+
+    @property
     def is_partitioned(self) -> bool:
         """Whether a partition is currently installed."""
-        return self._cell_of is not None
+        return bool(self._cell_of)
 
     def partition(self, *groups: Sequence[ServerId]) -> None:
         """Install a partition consisting of the given disjoint groups.
@@ -55,23 +79,26 @@ class PartitionManager:
         leftover_cell = len(groups)
         for server_id in sorted(self._members):
             cell_of.setdefault(server_id, leftover_cell)
-        self._cell_of = cell_of
+        self._cell_of.clear()
+        self._cell_of.update(cell_of)
+        self._version += 1
 
     def heal(self) -> None:
         """Remove the current partition; all servers can communicate again."""
-        self._cell_of = None
+        self._cell_of.clear()
+        self._version += 1
 
     def can_communicate(self, src: ServerId, dst: ServerId) -> bool:
         """Whether a message from *src* can currently reach *dst*."""
         if src not in self._members or dst not in self._members:
             raise NetworkError(f"unknown servers S{src} or S{dst}")
-        if self._cell_of is None:
+        if not self._cell_of:
             return True
         return self._cell_of[src] == self._cell_of[dst]
 
     def cell_members(self, server_id: ServerId) -> frozenset[ServerId]:
         """Servers currently reachable from *server_id* (including itself)."""
-        if self._cell_of is None:
+        if not self._cell_of:
             return self._members
         cell = self._cell_of[server_id]
         return frozenset(

@@ -16,14 +16,14 @@ from repro.common.types import LogIndex, ServerId, Term
 from repro.storage.log import LogEntry
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RpcMessage:
     """Base class for every protocol message; all carry the sender's term."""
 
     term: Term
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestVoteRequest(RpcMessage):
     """A candidate's vote solicitation.
 
@@ -39,7 +39,7 @@ class RequestVoteRequest(RpcMessage):
     last_log_term: Term = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestVoteResponse(RpcMessage):
     """A voter's reply to :class:`RequestVoteRequest`.
 
@@ -53,7 +53,7 @@ class RequestVoteResponse(RpcMessage):
     vote_granted: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppendEntriesRequest(RpcMessage):
     """The leader's replication/heartbeat RPC.
 
@@ -78,7 +78,7 @@ class AppendEntriesRequest(RpcMessage):
         return not self.entries
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppendEntriesResponse(RpcMessage):
     """A follower's reply to :class:`AppendEntriesRequest`.
 

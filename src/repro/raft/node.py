@@ -110,6 +110,50 @@ class RaftNode:
             "append_entries_received": 0,
         }
 
+        # Message dispatch by exact payload type; subclassed RPCs (ESCAPE
+        # extends the Raft messages) are resolved through the isinstance
+        # chain on first sight and memoised.  Bound here so subclass handler
+        # overrides are picked up.
+        self._message_handlers: dict[type, Callable[[ServerId, Any], None]] = {
+            RequestVoteRequest: self._handle_request_vote,
+            RequestVoteResponse: self._handle_request_vote_response,
+            AppendEntriesRequest: self._handle_append_entries,
+            AppendEntriesResponse: self._handle_append_entries_response,
+        }
+        # Bound-method alias: the dispatch dict is only ever mutated in place
+        # (memoising newly seen subclassed RPC types), so the bound ``get``
+        # stays valid for the node's lifetime.
+        self._dispatch_get = self._message_handlers.get
+
+        # Hot-path caches.  Membership is static, so the peer tuple is fixed
+        # for the node's lifetime.  The two hook flags let the heartbeat path
+        # skip no-op subclass hooks; they are per-class facts, not per-call.
+        self._peer_ids: tuple[ServerId, ...] = cluster.peers_of(node_id)
+        cls = type(self)
+        self._decorate_is_default = (
+            cls._hook_decorate_append_request is RaftNode._hook_decorate_append_request
+        )
+        self._timeout_hook_is_default = (
+            cls._hook_election_timeout_ms is RaftNode._hook_election_timeout_ms
+        )
+        self._grant_hook_is_default = (
+            cls._hook_may_grant_vote is RaftNode._hook_may_grant_vote
+        )
+        self._heartbeat_hook_is_default = (
+            cls._hook_on_leader_heartbeat is RaftNode._hook_on_leader_heartbeat
+        )
+        self._response_hook_is_default = (
+            cls._hook_on_append_response is RaftNode._hook_on_append_response
+        )
+        self._round_hook_is_default = (
+            cls._hook_before_heartbeat_round is RaftNode._hook_before_heartbeat_round
+        )
+        self._trace_on: bool = getattr(env, "trace_enabled", True)
+        self._append_response_memo: tuple[
+            Term, bool, LogIndex, AppendEntriesResponse
+        ] | None = None
+        self._vote_response_memo: tuple[Term, bool, RequestVoteResponse] | None = None
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -121,7 +165,7 @@ class RaftNode:
     @property
     def peers(self) -> tuple[ServerId, ...]:
         """Every other member of the cluster."""
-        return self.cluster.peers_of(self.node_id)
+        return self._peer_ids
 
     def add_listener(self, listener: NodeListener) -> None:
         """Attach an observer for protocol events."""
@@ -208,16 +252,25 @@ class RaftNode:
         """Entry point for every message delivered to this node."""
         if not self._running:
             return
+        handler = self._dispatch_get(type(message))
+        if handler is None:
+            handler = self._resolve_message_handler(message)
+            self._message_handlers[type(message)] = handler
+        handler(src, message)
+
+    def _resolve_message_handler(
+        self, message: RpcMessage
+    ) -> Callable[[ServerId, Any], None]:
+        """Map a not-yet-seen message type to its handler (isinstance chain)."""
         if isinstance(message, RequestVoteRequest):
-            self._handle_request_vote(src, message)
-        elif isinstance(message, RequestVoteResponse):
-            self._handle_request_vote_response(src, message)
-        elif isinstance(message, AppendEntriesRequest):
-            self._handle_append_entries(src, message)
-        elif isinstance(message, AppendEntriesResponse):
-            self._handle_append_entries_response(src, message)
-        else:
-            raise ProtocolError(f"unknown message type {type(message).__name__}")
+            return self._handle_request_vote
+        if isinstance(message, RequestVoteResponse):
+            return self._handle_request_vote_response
+        if isinstance(message, AppendEntriesRequest):
+            return self._handle_append_entries
+        if isinstance(message, AppendEntriesResponse):
+            return self._handle_append_entries_response
+        raise ProtocolError(f"unknown message type {type(message).__name__}")
 
     # ------------------------------------------------------------------ #
     # Leader election: timeouts and campaigns
@@ -227,7 +280,8 @@ class RaftNode:
             return
         attempt = self._timeout_attempt
         self._timeout_attempt += 1
-        self.env.trace("election.timeout", term=self.current_term, attempt=attempt)
+        if self._trace_on:
+            self.env.trace("election.timeout", term=self.current_term, attempt=attempt)
         for listener in self._listeners:
             listener.on_election_timeout(
                 self.node_id, self.current_term, attempt, self.env.now()
@@ -249,12 +303,13 @@ class RaftNode:
         self.votes.start_campaign(new_term)
         self.votes.record_vote(new_term, self.node_id)
         self.stats["elections_started"] += 1
-        self.env.trace("election.start", term=new_term)
+        if self._trace_on:
+            self.env.trace("election.start", term=new_term)
         for listener in self._listeners:
             listener.on_election_started(self.node_id, new_term, self.env.now())
         self._reset_election_timer()
         request = self._hook_make_vote_request()
-        self.env.broadcast(list(self.peers), lambda dst: request)
+        self.env.broadcast(self._peer_ids, lambda dst: request)
         self._schedule_vote_retry()
         if self.votes.has_quorum():
             # Single-node cluster: the candidate's own vote is already a quorum.
@@ -278,30 +333,46 @@ class RaftNode:
         """
         if not self._running or self.role is not Role.CANDIDATE:
             return
-        pending = [peer for peer in self.peers if peer not in self.votes.votes]
+        voted = self.votes.votes
+        pending = [peer for peer in self._peer_ids if peer not in voted]
         if pending:
             request = self._hook_make_vote_request()
             self.env.broadcast(pending, lambda dst: request)
-            self.env.trace("election.vote_retry", term=self.current_term, pending=len(pending))
+            if self._trace_on:
+                self.env.trace(
+                    "election.vote_retry", term=self.current_term, pending=len(pending)
+                )
         self._schedule_vote_retry()
 
     def _handle_request_vote(self, src: ServerId, request: RequestVoteRequest) -> None:
         if request.term < self.current_term:
-            self.env.send(
-                src,
-                RequestVoteResponse(
-                    term=self.current_term, voter_id=self.node_id, vote_granted=False
-                ),
-            )
+            # Memo inlined (see _make_vote_response): during an election storm
+            # the stale-term rejection runs once per lagging candidate.
+            memo = self._vote_response_memo
+            if memo is not None and memo[0] == self.current_term and memo[1] is False:
+                response = memo[2]
+            else:
+                response = self._make_vote_response(granted=False)
+            self.env.send(src, response)
             return
         if request.term > self.current_term:
             self._observe_higher_term(request.term)
-        log_ok = self.log.candidate_is_acceptable(
-            request.last_log_term, request.last_log_index
-        )
         not_yet_voted = self.voted_for is None or self.voted_for == request.candidate_id
-        extra_ok = self._hook_may_grant_vote(request)
-        granted = log_ok and not_yet_voted and extra_ok and self.role is not Role.LEADER
+        if not_yet_voted or self._trace_on:
+            # The log comparison and the grant hook only influence the verdict
+            # when the vote is still available -- but the election.vote trace
+            # records their values, so they are always computed while tracing
+            # (hooks are pure reads by contract, so skipping them off-trace
+            # cannot change any node's state).
+            log_ok = self.log.candidate_is_acceptable(
+                request.last_log_term, request.last_log_index
+            )
+            extra_ok = self._grant_hook_is_default or self._hook_may_grant_vote(request)
+            granted = (
+                log_ok and not_yet_voted and extra_ok and self.role is not Role.LEADER
+            )
+        else:
+            granted = False
         if granted:
             self.voted_for = request.candidate_id
             self.store.save_term_and_vote(self.current_term, self.voted_for)
@@ -313,21 +384,39 @@ class RaftNode:
                 listener.on_vote_granted(
                     self.node_id, request.candidate_id, self.current_term, self.env.now()
                 )
-        self.env.trace(
-            "election.vote",
-            candidate=request.candidate_id,
-            term=self.current_term,
-            granted=granted,
-            log_ok=log_ok,
-            not_yet_voted=not_yet_voted,
-            extra_ok=extra_ok,
+        if self._trace_on:
+            self.env.trace(
+                "election.vote",
+                candidate=request.candidate_id,
+                term=self.current_term,
+                granted=granted,
+                log_ok=log_ok,
+                not_yet_voted=not_yet_voted,
+                extra_ok=extra_ok,
+            )
+        memo = self._vote_response_memo
+        if memo is not None and memo[0] == self.current_term and memo[1] is granted:
+            self.env.send(src, memo[2])
+        else:
+            self.env.send(src, self._make_vote_response(granted=granted))
+
+    def _make_vote_response(self, granted: bool) -> RequestVoteResponse:
+        """Build (or reuse) the frozen vote response for the current term.
+
+        During an election storm a voter answers many candidates in the same
+        term with ``vote_granted=False``; the responses are frozen value
+        objects, so one instance per ``(term, granted)`` is indistinguishable
+        from a fresh one.
+        """
+        term = self.current_term
+        memo = self._vote_response_memo
+        if memo is not None and memo[0] == term and memo[1] is granted:
+            return memo[2]
+        response = RequestVoteResponse(
+            term=term, voter_id=self.node_id, vote_granted=granted
         )
-        self.env.send(
-            src,
-            RequestVoteResponse(
-                term=self.current_term, voter_id=self.node_id, vote_granted=granted
-            ),
-        )
+        self._vote_response_memo = (term, granted, response)
+        return response
 
     def _handle_request_vote_response(
         self, src: ServerId, response: RequestVoteResponse
@@ -366,10 +455,12 @@ class RaftNode:
         # The hook runs before the timer reset so a configuration carried by
         # this heartbeat (ESCAPE's PPF piggyback) takes effect for the very
         # next election-timeout wait.
-        self._hook_on_leader_heartbeat(request)
+        if not self._heartbeat_hook_is_default:
+            self._hook_on_leader_heartbeat(request)
         self._reset_election_timer()
 
-        if not self.log.matches(request.prev_log_index, request.prev_log_term):
+        prev_log_index = request.prev_log_index
+        if prev_log_index and not self.log.matches(prev_log_index, request.prev_log_term):
             self.env.trace(
                 "log.reject",
                 leader=request.leader_id,
@@ -389,7 +480,7 @@ class RaftNode:
         if request.leader_commit > self.commit_index:
             self.commit_index = min(request.leader_commit, self.log.last_index)
             self._apply_committed_entries()
-        match_index = request.prev_log_index + len(request.entries)
+        match_index = prev_log_index + len(request.entries)
         response = self._hook_make_append_response(
             request, success=True, match_index=match_index
         )
@@ -404,7 +495,8 @@ class RaftNode:
         if self.role is not Role.LEADER or response.term != self.current_term:
             return
         assert self.progress is not None
-        self._hook_on_append_response(src, response)
+        if not self._response_hook_is_default:
+            self._hook_on_append_response(src, response)
         if response.success:
             self.progress.record_success(src, response.match_index, self.env.now())
             self._advance_commit_index()
@@ -422,7 +514,8 @@ class RaftNode:
         self.progress = ReplicationProgress(
             self.node_id, self.peers, self.log.last_index
         )
-        self.env.trace("election.won", term=self.current_term, votes=self.votes.count)
+        if self._trace_on:
+            self.env.trace("election.won", term=self.current_term, votes=self.votes.count)
         for listener in self._listeners:
             listener.on_leader_elected(
                 self.node_id, self.current_term, self.votes.count, self.env.now()
@@ -459,7 +552,10 @@ class RaftNode:
             self.progress = None
         if new_role is not Role.LEADER and self._election_timer is None and self._running:
             self._reset_election_timer()
-        self.env.trace("role.change", old=str(old_role), new=str(new_role), term=self.current_term)
+        if self._trace_on:
+            self.env.trace(
+                "role.change", old=str(old_role), new=str(new_role), term=self.current_term
+            )
         for listener in self._listeners:
             listener.on_role_change(
                 self.node_id, old_role, new_role, self.current_term, self.env.now()
@@ -471,9 +567,10 @@ class RaftNode:
     def _send_heartbeats(self) -> None:
         if not self._running or self.role is not Role.LEADER:
             return
-        self._hook_before_heartbeat_round()
+        if not self._round_hook_is_default:
+            self._hook_before_heartbeat_round()
         self.stats["heartbeats_sent"] += 1
-        self.env.broadcast(list(self.peers), self._build_append_entries_for)
+        self.env.broadcast(self._peer_ids, self._append_entries_factory())
         self._heartbeat_timer = self.env.set_timer(
             self.config.heartbeat_interval_ms, self._send_heartbeats, label="heartbeat"
         )
@@ -482,17 +579,51 @@ class RaftNode:
         """Push fresh entries immediately (without waiting for the heartbeat)."""
         if self.role is not Role.LEADER:
             return
-        self.env.broadcast(list(self.peers), self._build_append_entries_for)
+        self.env.broadcast(self._peer_ids, self._append_entries_factory())
 
-    def _build_append_entries_for(self, follower: ServerId) -> AppendEntriesRequest:
-        assert self.progress is not None
-        next_index = self.progress.next_index(follower)
+    def _append_entries_factory(self) -> Callable[[ServerId], AppendEntriesRequest]:
+        """Payload factory for one broadcast round of AppendEntries.
+
+        Followers that share a ``next_index`` receive value-identical base
+        requests, so each distinct index is built once per round; the decorate
+        hook still runs per follower (ESCAPE piggybacks per-follower
+        configurations) unless the subclass left it at the no-op default.
+        """
+        progress = self.progress
+        assert progress is not None
+        cache: dict[LogIndex, AppendEntriesRequest] = {}
+        build = self._build_append_entries
+        next_index = progress.next_index
+        if self._decorate_is_default:
+
+            def factory(follower: ServerId) -> AppendEntriesRequest:
+                index = next_index(follower)
+                request = cache.get(index)
+                if request is None:
+                    request = cache[index] = build(index)
+                return request
+
+            return factory
+        decorate = self._hook_decorate_append_request
+
+        def factory(follower: ServerId) -> AppendEntriesRequest:
+            index = next_index(follower)
+            request = cache.get(index)
+            if request is None:
+                request = cache[index] = build(index)
+            return decorate(request, follower)
+
+        return factory
+
+    def _build_append_entries(self, next_index: LogIndex) -> AppendEntriesRequest:
+        """The base AppendEntries for a follower whose next index is known."""
         prev_index = next_index - 1
-        prev_term = self.log.term_at(prev_index) if prev_index <= self.log.last_index else 0
+        log = self.log
+        prev_term = log.term_at(prev_index) if prev_index <= log.last_index else 0
         entries = tuple(
-            self.log.entries_from(next_index, limit=self.config.max_entries_per_append)
+            log.entries_from(next_index, limit=self.config.max_entries_per_append)
         )
-        request = AppendEntriesRequest(
+        return AppendEntriesRequest(
             term=self.current_term,
             leader_id=self.node_id,
             prev_log_index=prev_index,
@@ -500,10 +631,18 @@ class RaftNode:
             entries=entries,
             leader_commit=self.commit_index,
         )
+
+    def _build_append_entries_for(self, follower: ServerId) -> AppendEntriesRequest:
+        assert self.progress is not None
+        request = self._build_append_entries(self.progress.next_index(follower))
         return self._hook_decorate_append_request(request, follower)
 
     def _advance_commit_index(self) -> None:
         assert self.progress is not None
+        if self.commit_index >= self.log.last_index:
+            # The quorum rule can never yield an index beyond the leader's own
+            # log tail, so there is nothing further to commit.
+            return
         new_commit = self.progress.commit_index_for_quorum(
             self.cluster.quorum_size, self.log, self.current_term
         )
@@ -517,7 +656,8 @@ class RaftNode:
             entry = self.log.entry_at(self.last_applied)
             result = self.state_machine.apply(entry.command)
             self.apply_results[entry.index] = result
-            self.env.trace("log.apply", index=entry.index, term=entry.term)
+            if self._trace_on:
+                self.env.trace("log.apply", index=entry.index, term=entry.term)
             for listener in self._listeners:
                 listener.on_entry_committed(
                     self.node_id, entry.index, entry.term, self.env.now()
@@ -527,8 +667,17 @@ class RaftNode:
     # Timers
     # ------------------------------------------------------------------ #
     def _reset_election_timer(self) -> None:
-        self._cancel_election_timer()
-        timeout = self._hook_election_timeout_ms()
+        timer = self._election_timer
+        if timer is not None:
+            self.env.cancel_timer(timer)
+        policy = self.timeout_policy
+        if self._timeout_hook_is_default and type(policy) is RandomizedTimeoutPolicy:
+            # Inlined RandomizedTimeoutPolicy.next_timeout_ms: bit-identical
+            # to rng.uniform(low, high) == low + (high - low) * rng.random().
+            low = policy.low_ms
+            timeout = low + (policy.high_ms - low) * self.env.rng.random()
+        else:
+            timeout = self._hook_election_timeout_ms()
         self._election_timer = self.env.set_timer(
             timeout, self._on_election_timeout, label="election-timeout"
         )
@@ -581,13 +730,27 @@ class RaftNode:
     def _hook_make_append_response(
         self, request: AppendEntriesRequest, success: bool, match_index: LogIndex
     ) -> AppendEntriesResponse:
-        """Build the reply to an AppendEntries request."""
-        return AppendEntriesResponse(
+        """Build the reply to an AppendEntries request.
+
+        Replies are value-frozen, so the steady heartbeat stream (same term,
+        same match index) reuses one instance instead of allocating per reply.
+        """
+        memo = self._append_response_memo
+        if (
+            memo is not None
+            and memo[0] == self.current_term
+            and memo[1] is success
+            and memo[2] == match_index
+        ):
+            return memo[3]
+        response = AppendEntriesResponse(
             term=self.current_term,
             follower_id=self.node_id,
             success=success,
             match_index=match_index,
         )
+        self._append_response_memo = (self.current_term, success, match_index, response)
+        return response
 
     def _hook_on_leader_heartbeat(self, request: AppendEntriesRequest) -> None:
         """Called on the follower whenever a legitimate leader is heard."""

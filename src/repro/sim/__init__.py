@@ -12,19 +12,31 @@ Determinism guarantees:
 * events scheduled for the same instant run in insertion order (stable
   tie-breaking), so repeated runs with the same seed are bit-identical;
 * all randomness flows through :class:`repro.common.rng.SeedSequence`.
+
+Two interchangeable *engines* provide the kernel: the ``classic`` engine
+(:class:`EventScheduler` and friends, optimised for readability) and the
+``flat`` engine (:class:`FlatEventScheduler`, array-backed records for large
+sweeps).  Engines are registered in :mod:`repro.sim.engines` and are
+bit-identical by contract -- selecting one changes wall-clock time only.
 """
 
 from repro.sim.clock import VirtualClock
+from repro.sim.engines import EngineSpec, default_engine_name, using_engine
 from repro.sim.events import EventHandle
+from repro.sim.flatcore import FlatEventScheduler
 from repro.sim.scheduler import EventScheduler
 from repro.sim.tracing import TraceRecord, Tracer
 from repro.sim.world import SimulationWorld
 
 __all__ = [
+    "EngineSpec",
     "EventHandle",
     "EventScheduler",
+    "FlatEventScheduler",
     "SimulationWorld",
     "TraceRecord",
     "Tracer",
     "VirtualClock",
+    "default_engine_name",
+    "using_engine",
 ]

@@ -1,0 +1,394 @@
+"""The ``flat`` engine's event core: slotted list records instead of objects.
+
+This scheduler implements exactly the contract of
+:class:`~repro.sim.scheduler.EventScheduler` (see :mod:`repro.sim.engines`
+for the contract's definition) but represents every queued event as a plain
+4-slot list ``[time_ms, sequence, fn, arg]`` on a binary heap:
+
+* no :class:`~repro.sim.events.ScheduledEvent` dataclass, no
+  :class:`~repro.sim.events.EventHandle` object, no label f-string per timer
+  -- a re-armed election timer is one list allocation and one ``heappush``;
+* list comparison happens element-wise in C and the unique ``sequence``
+  slot guarantees ``fn`` is never compared, preserving the classic engine's
+  strict ``(time, insertion sequence)`` execution order;
+* cancellation clears the ``fn`` slot in place (``None`` marks the record
+  dead); popped records clear their own ``fn`` slot before firing, so a
+  callback cancelling its own just-fired record is a no-op and dead-record
+  accounting can rely on ``fn is None`` alone;
+* message deliveries are scheduled *handle-free* through
+  :meth:`schedule_call` with ``fn(arg)`` dispatch -- the network passes one
+  bound method plus one ``(src, dst, payload)`` tuple instead of building an
+  envelope and a closure per message;
+* the run loops advance the clock by writing ``VirtualClock._now_ms``
+  directly.  This is safe because heap pops yield non-decreasing times and
+  every entry time was validated finite and non-past at scheduling time
+  (the boundary advances at ``run_until*`` limits still go through the
+  validating :meth:`~repro.sim.clock.VirtualClock.advance_to`).
+
+Lazy cancellation, compaction (dead records are filtered out as soon as they
+outnumber live ones, above ``compact_min_size``), the O(1) ``pending_count``,
+and the ``max_events`` budget all match the classic engine observably:
+``pending_count`` / ``heap_size`` / ``compaction_count`` / ``executed_count``
+report the same state transitions for the same workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+from repro.common.errors import SimulationError
+from repro.common.types import Milliseconds
+from repro.sim.clock import VirtualClock
+
+__all__ = ["FlatEventHandle", "FlatEventScheduler"]
+
+_INF = math.inf
+
+#: Record slot indices (records are plain lists for C-level heap compares).
+_TIME, _SEQ, _FN, _ARG = 0, 1, 2, 3
+
+
+class FlatEventHandle:
+    """Cancellable handle for events scheduled through the *public* API.
+
+    The flat engine's node environments bypass handles entirely (they pass
+    raw records around), but ``call_at``/``call_after`` keep returning a
+    handle-shaped object so harness code, the client workload and the chaos
+    driver work unchanged on either engine.
+    """
+
+    __slots__ = ("_scheduler", "_entry", "_cancelled", "_label")
+
+    def __init__(
+        self, scheduler: "FlatEventScheduler", entry: list, label: str = ""
+    ) -> None:
+        self._scheduler = scheduler
+        self._entry = entry
+        self._cancelled = False
+        self._label = label
+
+    @property
+    def time_ms(self) -> Milliseconds:
+        """The simulated time this event is scheduled to fire at."""
+        return self._entry[_TIME]
+
+    @property
+    def label(self) -> str:
+        """Optional human-readable label (diagnostics only)."""
+        return self._label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._scheduler.cancel_entry(self._entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"FlatEventHandle(t={self.time_ms:.3f}ms, {self._label!r}, {state})"
+
+
+class FlatEventScheduler:
+    """Array-backed scheduler, drop-in behind the classic scheduler contract.
+
+    Args:
+        clock: the virtual clock to advance (fresh one when omitted).
+        max_events: execution budget; exceeding it raises
+            :class:`SimulationError` exactly like the classic engine.
+        compact_min_size: heaps smaller than this are never compacted.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        max_events: int = 10_000_000,
+        compact_min_size: int = 64,
+    ) -> None:
+        self._clock = clock if clock is not None else VirtualClock()
+        self._heap: list[list] = []
+        self._sequence = 0
+        self._executed = 0
+        self._max_events = max_events
+        self._compact_min_size = compact_min_size
+        self._cancelled_in_heap = 0
+        self._compactions = 0
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The virtual clock advanced by this scheduler."""
+        return self._clock
+
+    def now(self) -> Milliseconds:
+        """Current simulated time in milliseconds."""
+        return self._clock.now()
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap records, including dead ones awaiting removal."""
+        return len(self._heap)
+
+    @property
+    def compaction_count(self) -> int:
+        """How many times the heap has been compacted (observability)."""
+        return self._compactions
+
+    @property
+    def executed_count(self) -> int:
+        """Total number of events executed so far."""
+        return self._executed
+
+    # ------------------------------------------------------------------ #
+    # Scheduling -- public (handle-returning) surface
+    # ------------------------------------------------------------------ #
+    def call_at(
+        self, time_ms: Milliseconds, callback: Callable[[], None], label: str = ""
+    ) -> FlatEventHandle:
+        """Schedule *callback* to run at absolute simulated time *time_ms*."""
+        if not math.isfinite(time_ms):
+            raise SimulationError(
+                f"cannot schedule event at non-finite time: {time_ms!r}"
+            )
+        if time_ms < self._clock.now():
+            raise SimulationError(
+                f"cannot schedule event in the past: {time_ms} < {self.now()}"
+            )
+        entry = [float(time_ms), self._sequence, callback, None]
+        self._sequence += 1
+        heapq.heappush(self._heap, entry)
+        return FlatEventHandle(self, entry, label)
+
+    def call_after(
+        self, delay_ms: Milliseconds, callback: Callable[[], None], label: str = ""
+    ) -> FlatEventHandle:
+        """Schedule *callback* to run *delay_ms* milliseconds from now."""
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay: {delay_ms}")
+        return self.call_at(self._clock.now() + delay_ms, callback, label=label)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling -- engine-internal fast paths (no handle objects)
+    # ------------------------------------------------------------------ #
+    def schedule_call(self, time_ms: float, fn, arg) -> None:
+        """Queue ``fn(arg)`` at *time_ms*; no handle, no cancellation.
+
+        The flat network's delivery path: one bound method and one argument
+        tuple per message.  *time_ms* must be ``now + latency`` with a
+        non-negative finite latency (the network guarantees this); only
+        non-finite times are rejected, since they would silently corrupt
+        heap ordering.
+        """
+        if not time_ms < _INF:  # rejects +inf and NaN in one comparison
+            raise SimulationError(
+                f"cannot schedule event at non-finite time: {time_ms!r}"
+            )
+        seq = self._sequence
+        self._sequence = seq + 1
+        heapq.heappush(self._heap, [time_ms, seq, fn, arg])
+
+    def schedule_timer_entry(
+        self, delay_ms: Milliseconds, callback: Callable[[], None], label: str = ""
+    ) -> list:
+        """Queue a node timer and return the raw record as its handle.
+
+        The flat node environment binds this method directly as its
+        ``set_timer`` (zero adapter frames), so the signature accepts -- and
+        ignores -- the environment contract's ``label`` keyword; labels are
+        classic-engine observability.  Timers are cancelled via
+        :meth:`cancel_entry`, so re-arming an election timer allocates one
+        list and nothing else.
+        """
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay: {delay_ms}")
+        time_ms = self._clock._now_ms + delay_ms
+        if not time_ms < _INF:  # rejects +inf and NaN (e.g. a NaN delay)
+            raise SimulationError(
+                f"cannot schedule event at non-finite time: {time_ms!r}"
+            )
+        seq = self._sequence
+        self._sequence = seq + 1
+        entry = [time_ms, seq, callback, None]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel_entry(self, entry: list) -> None:
+        """Cancel a queued record in place.  Idempotent; a no-op for records
+        that already fired (their ``fn`` slot is cleared on pop)."""
+        if entry[_FN] is None:
+            return
+        entry[_FN] = None
+        entry[_ARG] = None
+        self._note_cancelled()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the queue is empty.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            fn = entry[_FN]
+            if fn is None:
+                self._cancelled_in_heap -= 1
+                continue
+            if self._executed >= self._max_events:
+                self._budget_exhausted()
+            self._clock._now_ms = entry[_TIME]
+            self._executed += 1
+            entry[_FN] = None
+            arg = entry[_ARG]
+            if arg is None:
+                fn()
+            else:
+                fn(arg)
+            return True
+        return False
+
+    def run_until(self, time_ms: Milliseconds) -> None:
+        """Execute every event scheduled at or before *time_ms*.
+
+        The clock ends exactly at *time_ms* even if the last event fired
+        earlier, so periodic measurements line up with wall-clock sweeps.
+        """
+        heap = self._heap
+        clock = self._clock
+        pop = heapq.heappop
+        max_events = self._max_events
+        while heap:
+            entry = heap[0]
+            fn = entry[_FN]
+            if fn is None:
+                pop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if entry[_TIME] > time_ms:
+                break
+            pop(heap)
+            if self._executed >= max_events:
+                self._budget_exhausted()
+            clock._now_ms = entry[_TIME]
+            self._executed += 1
+            entry[_FN] = None
+            arg = entry[_ARG]
+            if arg is None:
+                fn()
+            else:
+                fn(arg)
+        if time_ms > clock.now():
+            clock.advance_to(time_ms)
+
+    def run_until_idle(self, max_time_ms: Milliseconds | None = None) -> None:
+        """Execute events until the queue drains (or *max_time_ms* is hit)."""
+        heap = self._heap
+        clock = self._clock
+        pop = heapq.heappop
+        max_events = self._max_events
+        while heap:
+            entry = heap[0]
+            fn = entry[_FN]
+            if fn is None:
+                pop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if max_time_ms is not None and entry[_TIME] > max_time_ms:
+                clock.advance_to(max_time_ms)
+                return
+            pop(heap)
+            if self._executed >= max_events:
+                self._budget_exhausted()
+            clock._now_ms = entry[_TIME]
+            self._executed += 1
+            entry[_FN] = None
+            arg = entry[_ARG]
+            if arg is None:
+                fn()
+            else:
+                fn(arg)
+
+    def run_until_condition(
+        self,
+        condition: Callable[[], bool],
+        max_time_ms: Milliseconds,
+    ) -> bool:
+        """Execute events until *condition()* becomes true.
+
+        The condition is evaluated before the run starts and after every
+        executed event, exactly like the classic engine.
+
+        Returns:
+            ``True`` if the condition became true, ``False`` if the queue
+            drained or *max_time_ms* elapsed first.
+        """
+        if condition():
+            return True
+        heap = self._heap
+        clock = self._clock
+        pop = heapq.heappop
+        max_events = self._max_events
+        while heap:
+            entry = heap[0]
+            fn = entry[_FN]
+            if fn is None:
+                pop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if entry[_TIME] > max_time_ms:
+                clock.advance_to(max_time_ms)
+                return condition()
+            pop(heap)
+            if self._executed >= max_events:
+                self._budget_exhausted()
+            clock._now_ms = entry[_TIME]
+            self._executed += 1
+            entry[_FN] = None
+            arg = entry[_ARG]
+            if arg is None:
+                fn()
+            else:
+                fn(arg)
+            if condition():
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _note_cancelled(self) -> None:
+        """Account for a cancellation; compact when dead records dominate."""
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (
+            len(heap) >= self._compact_min_size
+            and self._cancelled_in_heap * 2 > len(heap)
+        ):
+            # In place (slice assignment, not rebinding): the run loops hold
+            # the heap list in a local, so the compacted heap must keep its
+            # identity or a compaction fired from inside a callback would
+            # leave the running loop draining a stale list.
+            heap[:] = [entry for entry in heap if entry[_FN] is not None]
+            heapq.heapify(heap)
+            self._cancelled_in_heap = 0
+            self._compactions += 1
+
+    def _budget_exhausted(self) -> None:
+        raise SimulationError(
+            f"event budget exhausted after {self._executed} events; "
+            "the simulation is probably not converging"
+        )

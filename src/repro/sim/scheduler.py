@@ -20,6 +20,7 @@ a full heap scan.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable
 
 from repro.common.errors import SimulationError
@@ -95,6 +96,13 @@ class EventScheduler:
         self, time_ms: Milliseconds, callback: Callable[[], None], label: str = ""
     ) -> EventHandle:
         """Schedule *callback* to run at absolute simulated time *time_ms*."""
+        # NaN passes the past-check below (every comparison against NaN is
+        # false) and would silently corrupt heap ordering; infinities would
+        # wedge run_until_idle.  Reject both outright.
+        if not math.isfinite(time_ms):
+            raise SimulationError(
+                f"cannot schedule event at non-finite time: {time_ms!r}"
+            )
         if time_ms < self.now():
             raise SimulationError(
                 f"cannot schedule event in the past: {time_ms} < {self.now()}"

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from repro.common.rng import SeedSequence
 from repro.common.types import Milliseconds
+from repro.sim import engines
 from repro.sim.clock import VirtualClock
-from repro.sim.scheduler import EventScheduler
+from repro.sim.engines import EngineSpec
 from repro.sim.tracing import Tracer
 
 
@@ -21,6 +22,12 @@ class SimulationWorld:
         seed: root seed of the run; all randomness derives from it.
         trace: whether to keep trace records (disable for large sweeps).
         max_events: event budget passed to the scheduler.
+        engine: simulation engine name or spec (see :mod:`repro.sim.engines`);
+            ``None`` uses the session default (normally ``classic``).  The
+            world owns the engine choice: it builds the engine's scheduler,
+            and :func:`repro.cluster.builder.build_cluster` reads
+            :attr:`engine` to pick the matching network and node-environment
+            classes.
     """
 
     def __init__(
@@ -28,10 +35,12 @@ class SimulationWorld:
         seed: int = 0,
         trace: bool = True,
         max_events: int = 10_000_000,
+        engine: str | EngineSpec | None = None,
     ) -> None:
+        self.engine = engines.resolve(engine)
         self.seeds = SeedSequence(seed)
         self.clock = VirtualClock()
-        self.scheduler = EventScheduler(self.clock, max_events=max_events)
+        self.scheduler = self.engine.scheduler_class()(self.clock, max_events=max_events)
         self.tracer = Tracer(enabled=trace)
 
     def now(self) -> Milliseconds:

@@ -20,7 +20,7 @@ from repro.common.errors import StorageError
 from repro.common.types import LogIndex, Term
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEntry:
     """One entry of the replicated log.
 
@@ -46,6 +46,11 @@ class ReplicatedLog:
 
     def __init__(self, entries: Iterable[LogEntry] = ()) -> None:
         self._entries: list[LogEntry] = []
+        # Tail cache, maintained by every mutation: the vote-granting
+        # comparison runs once per RequestVote received, so the tail must not
+        # cost a list index per read.
+        self._last_index: LogIndex = 0
+        self._last_term: Term = 0
         for entry in entries:
             self.append_entry(entry)
 
@@ -55,12 +60,12 @@ class ReplicatedLog:
     @property
     def last_index(self) -> LogIndex:
         """Index of the last entry, or 0 when the log is empty."""
-        return self._entries[-1].index if self._entries else 0
+        return self._last_index
 
     @property
     def last_term(self) -> Term:
         """Term of the last entry, or 0 when the log is empty."""
-        return self._entries[-1].term if self._entries else 0
+        return self._last_term
 
     def term_at(self, index: LogIndex) -> Term:
         """Term of the entry at *index*; index 0 is the sentinel with term 0.
@@ -75,16 +80,16 @@ class ReplicatedLog:
 
     def entry_at(self, index: LogIndex) -> LogEntry:
         """The entry stored at *index* (1-based)."""
-        if index < 1 or index > self.last_index:
+        if index < 1 or index > self._last_index:
             raise StorageError(
-                f"log index {index} out of range [1, {self.last_index}]"
+                f"log index {index} out of range [1, {self._last_index}]"
             )
         entry = self._entries[index - 1]
         return entry
 
     def has_entry(self, index: LogIndex) -> bool:
         """Whether an entry exists at *index*."""
-        return 1 <= index <= self.last_index
+        return 1 <= index <= self._last_index
 
     def entries_from(
         self, start_index: LogIndex, limit: int | None = None
@@ -102,21 +107,23 @@ class ReplicatedLog:
     # ------------------------------------------------------------------ #
     def append_entry(self, entry: LogEntry) -> None:
         """Append a pre-built entry; its index must be contiguous."""
-        expected = self.last_index + 1
+        expected = self._last_index + 1
         if entry.index != expected:
             raise StorageError(
                 f"non-contiguous append: expected index {expected}, got {entry.index}"
             )
-        if self._entries and entry.term < self._entries[-1].term:
+        if self._entries and entry.term < self._last_term:
             raise StorageError(
                 f"entry term {entry.term} is lower than the previous entry's term "
-                f"{self._entries[-1].term}"
+                f"{self._last_term}"
             )
         self._entries.append(entry)
+        self._last_index = entry.index
+        self._last_term = entry.term
 
     def append_command(self, term: Term, command: Any) -> LogEntry:
         """Create and append a new entry for *command* in *term* (leader path)."""
-        entry = LogEntry(term=term, index=self.last_index + 1, command=command)
+        entry = LogEntry(term=term, index=self._last_index + 1, command=command)
         self.append_entry(entry)
         return entry
 
@@ -128,8 +135,15 @@ class ReplicatedLog:
         """
         if index < 1:
             raise StorageError(f"truncate index must be >= 1, got {index}")
-        removed = max(0, self.last_index - index + 1)
+        removed = max(0, self._last_index - index + 1)
         del self._entries[index - 1 :]
+        if self._entries:
+            tail = self._entries[-1]
+            self._last_index = tail.index
+            self._last_term = tail.term
+        else:
+            self._last_index = 0
+            self._last_term = 0
         return removed
 
     def merge_entries(
@@ -173,9 +187,9 @@ class ReplicatedLog:
         """
         if prev_index == 0:
             return True
-        if not self.has_entry(prev_index):
+        if not 1 <= prev_index <= self._last_index:
             return False
-        return self.term_at(prev_index) == prev_term
+        return self._entries[prev_index - 1].term == prev_term
 
     def is_at_least_as_up_to_date_as(
         self, other_last_term: Term, other_last_index: LogIndex
@@ -185,17 +199,19 @@ class ReplicatedLog:
         ``log_a`` is at least as up to date as ``log_b`` when its last term is
         higher, or the last terms are equal and its last index is >=.
         """
-        if self.last_term != other_last_term:
-            return self.last_term > other_last_term
-        return self.last_index >= other_last_index
+        last_term = self._last_term
+        if last_term != other_last_term:
+            return last_term > other_last_term
+        return self._last_index >= other_last_index
 
     def candidate_is_acceptable(
         self, candidate_last_term: Term, candidate_last_index: LogIndex
     ) -> bool:
         """Whether a candidate with the given log tail may receive our vote."""
-        if candidate_last_term != self.last_term:
-            return candidate_last_term > self.last_term
-        return candidate_last_index >= self.last_index
+        last_term = self._last_term
+        if candidate_last_term != last_term:
+            return candidate_last_term > last_term
+        return candidate_last_index >= self._last_index
 
     # ------------------------------------------------------------------ #
     # Dunder helpers

@@ -1,0 +1,101 @@
+"""Differential testing of the simulation engines.
+
+The engine contract (:mod:`repro.sim.engines`) says the ``classic`` and
+``flat`` engines are *bit-identical*: for the same ``(scenario, seed)`` they
+must produce the same measurements, the same :class:`NetworkStats`, the same
+trace stream, and the same availability timeline -- an engine may only remove
+allocation and indirection, never reorder RNG draws or events.  This suite
+states that contract as properties over random seeds, the registered
+liveness-guaranteeing protocols, and the catalog's network conditions.
+
+``raft-fixed`` is deliberately absent: it livelocks by design (degenerate
+baseline) and cannot finish a measured episode on *either* engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.plans import build_plan
+from repro.chaos.scenario import ChaosScenario
+from repro.cluster.catalog import condition_names, scenario_for
+from repro.cluster.scenarios import ElectionScenario
+from repro.sim.engines import names as engine_names
+
+#: Every registered protocol that can finish a measured election episode.
+LIVENESS_PROTOCOLS = ("raft", "zraft", "escape", "raft-stagger", "escape-noppf")
+
+ENGINES = tuple(engine_names())
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _episode(scenario: ElectionScenario, seed: int):
+    """One measured episode plus the engine-visible side channels."""
+    cluster, harness = scenario.build(seed)
+    cluster.start_all()
+    harness.stabilize(max_time_ms=scenario.stabilize_ms)
+    measurement = harness.crash_leader_and_measure(
+        max_election_ms=scenario.max_election_ms, seed=seed
+    )
+    return (
+        measurement,
+        cluster.network.stats,
+        cluster.world.now(),
+        tuple(cluster.world.tracer.records),
+    )
+
+
+class TestElectionDifferential:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=SEEDS, protocol=st.sampled_from(LIVENESS_PROTOCOLS))
+    def test_measurements_identical_across_engines(self, seed, protocol):
+        scenario = ElectionScenario(protocol=protocol, cluster_size=5)
+        baseline = scenario.with_engine(ENGINES[0]).run(seed)
+        for engine in ENGINES[1:]:
+            assert scenario.with_engine(engine).run(seed) == baseline
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=SEEDS, condition=st.sampled_from(condition_names()))
+    def test_catalog_conditions_identical_including_stats_and_traces(
+        self, seed, condition
+    ):
+        # trace=True makes this the strongest form of the contract: not just
+        # the final numbers but the entire event narrative must match.
+        scenario = scenario_for(condition, protocol="escape", cluster_size=5, trace=True)
+        baseline = _episode(scenario.with_engine(ENGINES[0]), seed)
+        for engine in ENGINES[1:]:
+            other = _episode(scenario.with_engine(engine), seed)
+            assert other[0] == baseline[0], "measurement diverged"
+            assert other[1] == baseline[1], "NetworkStats diverged"
+            assert other[2] == baseline[2], "final simulated time diverged"
+            assert other[3] == baseline[3], "trace stream diverged"
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=SEEDS, protocol=st.sampled_from(LIVENESS_PROTOCOLS))
+    def test_trace_toggle_never_changes_results(self, seed, protocol):
+        """Tracing is observability only -- on either engine."""
+        quiet = ElectionScenario(protocol=protocol, cluster_size=5, trace=False)
+        loud = ElectionScenario(protocol=protocol, cluster_size=5, trace=True)
+        results = {
+            (engine, trace_on): scenario.with_engine(engine).run(seed)
+            for engine in ENGINES
+            for trace_on, scenario in ((False, quiet), (True, loud))
+        }
+        baseline = results[(ENGINES[0], False)]
+        assert all(result == baseline for result in results.values())
+
+
+class TestAvailabilityDifferential:
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_chaos_timeline_identical_across_engines(self, seed):
+        plan = build_plan("partition-flap", horizon_ms=60_000.0, seed=seed)
+        scenario = ChaosScenario(protocol="escape", cluster_size=5, plan=plan)
+        baseline = scenario.with_engine(ENGINES[0]).run(seed)
+        for engine in ENGINES[1:]:
+            other = scenario.with_engine(engine).run(seed)
+            # Full-record equality covers the availability aggregates, the
+            # recovery latencies and the raw leaderless-interval timeline.
+            assert other == baseline

@@ -173,6 +173,42 @@ class TestRunExperiment:
         # Capability values are recorded only when they were passed.
         assert "protocols" not in run.parameters and "plan" not in run.parameters
 
+    def test_engine_selection_is_recorded_and_scoped_to_the_run(self):
+        from repro.sim import engines
+
+        before = engines.default_engine_name()
+        run = run_experiment("fig3", runs=1, seed=0, quick=True, engine="flat")
+        assert run.engine == "flat"
+        assert run.metadata()["engine"] == "flat"
+        # The selection must not leak past the run.
+        assert engines.default_engine_name() == before
+
+    def test_engine_defaults_to_the_process_default(self, monkeypatch):
+        from repro.sim import engines
+
+        # Neutralize any ambient REPRO_ENGINE (the CI matrix sets it) so the
+        # resolution order under test is override > env > classic.
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        run = run_experiment("fig3", runs=1, seed=0, quick=True)
+        assert run.engine == "classic"
+        engines.set_default_engine("flat")
+        try:
+            assert (
+                run_experiment("fig3", runs=1, seed=0, quick=True).engine == "flat"
+            )
+        finally:
+            engines.set_default_engine(None)
+
+    def test_unknown_engine_rejected_with_registered_list(self):
+        with pytest.raises(ConfigurationError, match="unknown engine") as info:
+            run_experiment("fig3", runs=1, seed=0, quick=True, engine="warp")
+        assert "classic" in str(info.value) and "flat" in str(info.value)
+
+    def test_results_are_engine_invariant(self):
+        classic = run_experiment("fig3", runs=2, seed=5, quick=True, engine="classic")
+        flat = run_experiment("fig3", runs=2, seed=5, quick=True, engine="flat")
+        assert flat.report == classic.report
+
     def test_quick_overrides_are_declared_not_hardcoded(self):
         assert registry.get("fig9").resolved_params(quick=True)["sizes"] == (8, 16, 32)
         assert registry.get("wan").resolved_params(quick=True)["cluster_size"] == 6

@@ -163,3 +163,57 @@ class TestWorkerResolution:
             workers=16,
         )
         assert len(results["only"]) == 2
+
+
+class TestEngineInheritance:
+    """Sweep workers must inherit the parent's engine selection."""
+
+    def test_swept_engine_specs_collect_pinned_and_default(self):
+        from repro.experiments.runner import _swept_engine_specs
+        from repro.sim import engines
+
+        scenarios = {
+            "pinned": ElectionScenario(
+                protocol="raft", cluster_size=3, engine="flat"
+            ),
+            "deferred": ElectionScenario(protocol="raft", cluster_size=3),
+        }
+        names = {spec.name for spec in _swept_engine_specs(scenarios)}
+        assert names == {"flat", engines.default_engine_name()}
+
+    def test_register_worker_specs_installs_engine_default(self):
+        from repro.experiments.runner import _register_worker_specs
+        from repro.sim import engines
+
+        try:
+            _register_worker_specs(
+                (), engine_specs=(engines.get("flat"),), default_engine="flat"
+            )
+            assert engines.default_engine_name() == "flat"
+        finally:
+            engines.set_default_engine(None)
+
+    def test_pool_sweep_matches_sequential_under_flat_engine(self):
+        scenario = ElectionScenario(protocol="escape", cluster_size=3, engine="flat")
+        sequential = run_sweep({"s": scenario}, runs=4, seed=9, workers=1)
+        pooled = run_sweep({"s": scenario}, runs=4, seed=9, workers=2)
+        assert [m.election_ms for m in pooled["s"]] == [
+            m.election_ms for m in sequential["s"]
+        ]
+
+    def test_engine_selection_never_changes_sweep_results(self):
+        classic = run_sweep(
+            {"s": ElectionScenario(protocol="raft", cluster_size=3)},
+            runs=4,
+            seed=2,
+            workers=1,
+        )
+        flat = run_sweep(
+            {"s": ElectionScenario(protocol="raft", cluster_size=3, engine="flat")},
+            runs=4,
+            seed=2,
+            workers=1,
+        )
+        assert [m.election_ms for m in flat["s"]] == [
+            m.election_ms for m in classic["s"]
+        ]

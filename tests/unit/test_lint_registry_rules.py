@@ -81,13 +81,14 @@ class TestS1SpecPurity:
         )
         assert lambda_finding.path.endswith("test_lint_registry_rules.py")
 
-    def test_all_four_live_registries_are_pure(self):
+    def test_all_five_live_registries_are_pure(self):
         registries = load_registries()
         assert set(registries) == {
             "protocols",
             "experiments",
             "net-conditions",
             "chaos-plans",
+            "engines",
         }
         assert all(pairs for pairs in registries.values())
         assert check_registered_specs(DEFAULT_CONFIG) == []

@@ -1,0 +1,295 @@
+"""The simulation-engine registry and the engine seam.
+
+Covers the registry conformance contract (mirroring
+:mod:`repro.protocols` / :mod:`repro.experiments`): registration collisions,
+unknown-name errors that list the registered names, lazy ``module:ClassName``
+resolution, and the default-engine resolution order (explicit argument >
+:func:`set_default_engine` override > ``REPRO_ENGINE`` > ``classic``).
+
+Also pins two regressions on the scheduler seam itself: non-finite
+``call_at`` deadlines must be rejected by *both* engines (a NaN would poison
+the heap invariant silently), and in-flight drops must emit the same
+``net.drop`` trace schema on both engines.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.environment import FlatSimNodeEnvironment, SimNodeEnvironment
+from repro.cluster.scenarios import ElectionScenario
+from repro.chaos.plans import build_plan
+from repro.chaos.scenario import ChaosScenario
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.net.flatnet import FlatNetwork
+from repro.net.network import SimulatedNetwork
+from repro.sim import engines
+from repro.sim.engines import EngineSpec
+from repro.sim.flatcore import FlatEventScheduler
+from repro.sim.scheduler import EventScheduler
+from repro.sim.world import SimulationWorld
+
+ENGINE_NAMES = ("classic", "flat")
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_engine():
+    """No test may leak a process-wide default-engine override."""
+    yield
+    engines.set_default_engine(None)
+
+
+def _spec(name: str = "custom") -> EngineSpec:
+    return EngineSpec(
+        name=name,
+        title="Custom engine",
+        scheduler_path="repro.sim.scheduler:EventScheduler",
+        network_path="repro.net.network:SimulatedNetwork",
+        environment_path="repro.cluster.environment:SimNodeEnvironment",
+    )
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert set(ENGINE_NAMES) <= set(engines.names())
+        assert engines.is_registered("classic")
+        assert engines.is_registered("flat")
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="classic.*flat|flat.*classic"):
+            engines.get("warp")
+
+    def test_register_unregister_round_trip(self):
+        spec = engines.register(_spec())
+        try:
+            assert engines.get("custom") is spec
+            assert "custom" in engines.names()
+            assert engines.titles()["custom"] == "Custom engine"
+        finally:
+            assert engines.unregister("custom") is spec
+        assert not engines.is_registered("custom")
+
+    def test_duplicate_registration_needs_replace(self):
+        engines.register(_spec())
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                engines.register(_spec())
+            engines.register(_spec(), replace=True)
+        finally:
+            engines.unregister("custom")
+
+    def test_registered_specs_pairs_match_names(self):
+        assert tuple(name for name, _ in engines.registered_specs()) == engines.names()
+
+
+class TestEngineSpecValidation:
+    def test_rejects_bad_names(self):
+        for bad in ("", "two words", "a,b"):
+            with pytest.raises(ConfigurationError, match="must be non-empty"):
+                _spec(bad)
+
+    def test_rejects_malformed_class_paths(self):
+        with pytest.raises(ConfigurationError, match="module:ClassName"):
+            EngineSpec(
+                name="broken",
+                title="broken",
+                scheduler_path="repro.sim.scheduler.EventScheduler",  # dot, no colon
+                network_path="repro.net.network:SimulatedNetwork",
+                environment_path="repro.cluster.environment:SimNodeEnvironment",
+            )
+
+    def test_unresolvable_path_fails_at_use_not_registration(self):
+        spec = EngineSpec(
+            name="ghost",
+            title="ghost",
+            scheduler_path="repro.sim.scheduler:NoSuchClass",
+            network_path="repro.net.network:SimulatedNetwork",
+            environment_path="repro.cluster.environment:SimNodeEnvironment",
+        )
+        with pytest.raises(ConfigurationError, match="does not resolve"):
+            spec.scheduler_class()
+
+    def test_builtin_paths_resolve_to_the_engine_classes(self):
+        classic, flat = engines.get("classic"), engines.get("flat")
+        assert classic.scheduler_class() is EventScheduler
+        assert classic.network_class() is SimulatedNetwork
+        assert classic.environment_class() is SimNodeEnvironment
+        assert flat.scheduler_class() is FlatEventScheduler
+        assert flat.network_class() is FlatNetwork
+        assert flat.environment_class() is FlatSimNodeEnvironment
+
+
+class TestDefaultResolution:
+    def test_default_is_classic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert engines.default_engine_name() == "classic"
+
+    def test_env_variable_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "flat")
+        assert engines.default_engine_name() == "flat"
+
+    def test_env_variable_is_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            engines.default_engine_name()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "flat")
+        engines.set_default_engine("classic")
+        assert engines.default_engine_name() == "classic"
+        engines.set_default_engine(None)
+        assert engines.default_engine_name() == "flat"
+
+    def test_set_default_engine_validates(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            engines.set_default_engine("warp")
+
+    def test_using_engine_yields_and_restores(self):
+        # Pick whichever built-in is NOT the ambient default, so the test is
+        # meaningful when the suite itself runs under REPRO_ENGINE=flat.
+        before = engines.default_engine_name()
+        other = "flat" if before != "flat" else "classic"
+        with engines.using_engine(other) as resolved:
+            assert resolved == other
+            assert engines.default_engine_name() == other
+        assert engines.default_engine_name() == before
+
+    def test_using_engine_none_keeps_current(self):
+        engines.set_default_engine("flat")
+        with engines.using_engine(None) as resolved:
+            assert resolved == "flat"
+
+    def test_using_engine_restores_after_exception(self):
+        before = engines.default_engine_name()
+        other = "flat" if before != "flat" else "classic"
+        with pytest.raises(RuntimeError):
+            with engines.using_engine(other):
+                raise RuntimeError("boom")
+        assert engines.default_engine_name() == before
+
+    def test_resolve_accepts_name_spec_and_none(self):
+        flat = engines.get("flat")
+        assert engines.resolve("flat") is flat
+        assert engines.resolve(flat) is flat
+        assert engines.resolve(None) is engines.get(engines.default_engine_name())
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            engines.resolve("warp")
+
+
+class TestWorldAndClusterWiring:
+    def test_world_builds_the_engine_scheduler(self):
+        assert isinstance(SimulationWorld(engine="classic").scheduler, EventScheduler)
+        assert isinstance(SimulationWorld(engine="flat").scheduler, FlatEventScheduler)
+
+    def test_world_default_engine_follows_process_default(self):
+        engines.set_default_engine("flat")
+        assert SimulationWorld().engine.name == "flat"
+
+    def test_build_cluster_uses_matching_network_and_environment(self):
+        cluster = build_cluster("raft", size=3, engine="flat", trace=False)
+        assert isinstance(cluster.network, FlatNetwork)
+        assert all(
+            isinstance(node.env, FlatSimNodeEnvironment)
+            for node in cluster.nodes.values()
+        )
+        classic = build_cluster("raft", size=3, engine="classic", trace=False)
+        assert isinstance(classic.network, SimulatedNetwork)
+        assert all(
+            isinstance(node.env, SimNodeEnvironment)
+            for node in classic.nodes.values()
+        )
+
+    def test_scenario_engine_field_is_validated_and_threaded(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            ElectionScenario(protocol="raft", cluster_size=3, engine="warp")
+        scenario = ElectionScenario(protocol="raft", cluster_size=3).with_engine("flat")
+        assert scenario.engine == "flat"
+        cluster, _ = scenario.build(seed=1)
+        assert isinstance(cluster.network, FlatNetwork)
+
+    def test_scenario_empty_engine_defers_to_process_default(self):
+        engines.set_default_engine("flat")
+        cluster, _ = ElectionScenario(protocol="raft", cluster_size=3).build(seed=1)
+        assert isinstance(cluster.network, FlatNetwork)
+
+    def test_chaos_scenario_threads_engine(self):
+        plan = build_plan("repeated-leader-kill", horizon_ms=30_000.0, seed=0)
+        scenario = ChaosScenario(
+            protocol="raft", cluster_size=3, plan=plan
+        ).with_engine("flat")
+        assert scenario.election_scenario().engine == "flat"
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+class TestCallAtValidation:
+    """Regression: a NaN deadline used to be accepted and poison heap order."""
+
+    def test_rejects_nan(self, engine):
+        world = SimulationWorld(engine=engine)
+        with pytest.raises(SimulationError, match="non-finite"):
+            world.scheduler.call_at(math.nan, lambda: None)
+
+    def test_rejects_infinity(self, engine):
+        world = SimulationWorld(engine=engine)
+        for deadline in (math.inf, -math.inf):
+            with pytest.raises(SimulationError, match="non-finite"):
+                world.scheduler.call_at(deadline, lambda: None)
+
+    def test_accepts_finite_past_deadline_semantics_unchanged(self, engine):
+        world = SimulationWorld(engine=engine)
+        fired = []
+        world.scheduler.call_at(5.0, lambda: fired.append(world.now()))
+        world.scheduler.run_until_idle()
+        assert fired == [5.0]
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+class TestInFlightDropTraces:
+    """Both engines emit the ``net.drop`` schema for delivery-time drops."""
+
+    @staticmethod
+    def _world_and_network(engine):
+        from repro.net.latency import ConstantLatency
+
+        world = SimulationWorld(seed=7, engine=engine)
+        network_class = engines.get(engine).network_class()
+        network = network_class(
+            world, members=(1, 2, 3), latency=ConstantLatency(10.0)
+        )
+        for member in (1, 2, 3):
+            network.register(member, lambda payload, src: None)
+        return world, network
+
+    def test_disconnect_drop_carries_in_flight_flag(self, engine):
+        world, network = self._world_and_network(engine)
+        network.send(1, 2, "hello")
+        network.disconnect(2)
+        world.scheduler.run_until_idle()
+        drops = [
+            record
+            for record in world.tracer.records
+            if record.category == "net.drop"
+        ]
+        assert [dict(record.detail) for record in drops] == [
+            {"dst": 2, "reason": "disconnected", "in_flight": True}
+        ]
+        assert network.stats.dropped_disconnected == 1
+        assert network.stats.delivered == 0
+
+    def test_partition_drop_carries_in_flight_flag(self, engine):
+        world, network = self._world_and_network(engine)
+        network.send(1, 2, "hello")
+        network.partitions.partition([1], [2, 3])
+        world.scheduler.run_until_idle()
+        drops = [
+            record
+            for record in world.tracer.records
+            if record.category == "net.drop"
+        ]
+        assert [dict(record.detail) for record in drops] == [
+            {"dst": 2, "reason": "partition", "in_flight": True}
+        ]
+        assert network.stats.dropped_by_partition == 1

@@ -1,8 +1,8 @@
 """Cross-registry spec conformance: pickle, hash, ``dataclasses.replace``.
 
-Every value registered with any of the four dispatch registries (protocols,
-experiments, network conditions, chaos plans) must cross the parallel sweep
-engine's multiprocessing boundary intact.  This suite states that contract
+Every value registered with any of the five dispatch registries (protocols,
+experiments, network conditions, chaos plans, simulation engines) must cross
+the parallel sweep engine's multiprocessing boundary intact.  This suite states that contract
 directly -- one parametrized case per registered spec -- so registering a new
 spec anywhere subjects it to the same checks automatically.  The lint S1
 rule enforces the same properties statically; this is the runtime half.
@@ -18,6 +18,7 @@ from repro.cluster import catalog as net_catalog
 from repro.experiments import registry as experiment_registry
 from repro.experiments.spec import ExperimentSpec
 from repro.protocols import registry as protocol_registry
+from repro.sim import engines as engine_registry
 
 
 def _all_registered():
@@ -29,6 +30,7 @@ def _all_registered():
         ("experiments", experiment_registry.registered_specs()),
         ("net-conditions", net_catalog.registered_specs()),
         ("chaos-plans", chaos_plans.registered_specs()),
+        ("engines", engine_registry.registered_specs()),
     ):
         cases.extend(
             pytest.param(spec, id=f"{registry_name}:{name}")
