@@ -165,7 +165,120 @@ def record_experiments(reps: int, quick: bool) -> dict:
                 )
             )
             print(f"  {name:<14} engine={engine:<7} {best:8.3f} s", flush=True)
+    entries.extend(_record_sweep_entries(quick))
     return _ledger("experiments", quick, reps, entries)
+
+
+def _sweep_bench(argv: list[str]) -> dict:
+    """Run benchmarks/bench_sweep_streaming.py in a fresh interpreter.
+
+    A subprocess per measurement because the parent-memory metric is a
+    process-wide RSS *high-water* mark: only a fresh interpreter can attribute
+    it to one sweep through one data path.
+    """
+    import subprocess
+
+    script = Path(__file__).resolve().parent / "bench_sweep_streaming.py"
+    completed = subprocess.run(
+        [sys.executable, str(script), *argv],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+def _record_sweep_entries(quick: bool) -> list[dict]:
+    """Streaming-engine metrics: scale throughput, parent RSS, IPC weight.
+
+    Three stories, each one subprocess per data path:
+
+    * ``sweep/scale`` -- episodes/sec on the fig9-xl tail (s=1024; the quick
+      grid substitutes s=64), pinning that the streaming default costs no
+      throughput at data-center scale;
+    * ``sweep/memory`` -- parent high-water RSS over a many-episode sweep,
+      where the raw path's O(runs) measurement list grows and the streaming
+      path's O(labels) aggregates do not;
+    * ``sweep/work-item`` -- task-queue pickle bytes per episode for the lean
+      (label, index, seed) items vs embedding the scenario in every item.
+    """
+    entries: list[dict] = []
+    scale_sizes = "64" if quick else "1024"
+    memory_runs = "200" if quick else "3000"
+
+    for path in ("raw", "streaming"):
+        scale = _sweep_bench(
+            ["measure", "--path", path, "--sizes", scale_sizes, "--runs", "2",
+             "--workers", "1", "--engine", "flat"]
+        )
+        entries.append(
+            _entry(
+                f"sweep/scale/s={scale_sizes}/path={path}",
+                "episodes_per_s",
+                scale["episodes_per_s"],
+                "1/s",
+                higher_is_better=True,
+            )
+        )
+        print(
+            f"  sweep scale   s={scale_sizes:<4} path={path:<9} "
+            f"{scale['episodes_per_s']:8.2f} episodes/s",
+            flush=True,
+        )
+        memory = _sweep_bench(
+            ["measure", "--path", path, "--sizes", "16", "--runs", memory_runs,
+             "--workers", "1", "--engine", "flat"]
+        )
+        entries.append(
+            _entry(
+                f"sweep/memory/s=16/runs={memory_runs}/path={path}",
+                "parent_max_rss_mb",
+                memory["parent_max_rss_mb"],
+                "MiB",
+                higher_is_better=False,
+            )
+        )
+        print(
+            f"  sweep memory  runs={memory_runs:<5} path={path:<9} "
+            f"{memory['parent_max_rss_mb']:8.2f} MiB high-water",
+            flush=True,
+        )
+
+    weight = _sweep_bench(["pickle-bytes"])
+    entries.append(
+        _entry(
+            "sweep/work-item/lean",
+            "pickle_bytes_per_item",
+            weight["lean_bytes_per_item"],
+            "B",
+            higher_is_better=False,
+        )
+    )
+    entries.append(
+        _entry(
+            "sweep/work-item/embedded-scenario",
+            "pickle_bytes_per_item",
+            weight["embedded_bytes_per_item"],
+            "B",
+            higher_is_better=False,
+        )
+    )
+    entries.append(
+        _entry(
+            "sweep/work-item/reduction",
+            "embedded_over_lean",
+            weight["reduction_x"],
+            "x",
+            higher_is_better=True,
+        )
+    )
+    print(
+        f"  sweep work-item {weight['lean_bytes_per_item']:.1f} B lean vs "
+        f"{weight['embedded_bytes_per_item']:.1f} B embedded "
+        f"({weight['reduction_x']:.2f}x lighter)",
+        flush=True,
+    )
+    return entries
 
 
 def _ledger(suite: str, quick: bool, reps: int, entries: list[dict]) -> dict:

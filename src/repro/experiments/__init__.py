@@ -34,6 +34,7 @@ comparison, and ``python -m repro.experiments --list`` for the live registry.
 from repro.experiments import fig03_randomization
 from repro.experiments import fig04_randomization_average
 from repro.experiments import fig09_scale
+from repro.experiments import fig09_xl_scale
 from repro.experiments import fig10_competing_candidates
 from repro.experiments import fig11_message_loss
 from repro.experiments import exp_wan
@@ -57,6 +58,7 @@ __all__ = [
     "fig03_randomization",
     "fig04_randomization_average",
     "fig09_scale",
+    "fig09_xl_scale",
     "fig10_competing_candidates",
     "fig11_message_loss",
     "registry",

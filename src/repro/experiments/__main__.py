@@ -31,6 +31,11 @@ the chaos fault timeline from :data:`repro.chaos.plans.CHAOS_CATALOG`.
 ``--engine NAME`` selects the simulation engine from
 :mod:`repro.sim.engines` (engines are bit-identical by contract, so this
 changes wall-clock time only; the default honours ``REPRO_ENGINE``).
+``--streaming`` runs a streaming-capable experiment's sweep on the
+memory-bounded streaming path (worker-side mergeable aggregates, O(labels)
+parent memory) and ``--checkpoint DIR`` makes that sweep resumable: completed
+chunks persist to a JSON-lines file in DIR and a re-run of the same command
+continues bit-identically where the killed one stopped.
 ``--output DIR`` saves every experiment's raw measurements (CSV), a lossless
 JSON export with the run metadata, and the rendered report.
 
@@ -152,6 +157,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--streaming",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "run the sweep on the streaming engine: worker-side mergeable "
+            "aggregates, O(labels) parent memory, bit-identical results at "
+            "any worker count (--no-streaming forces the raw path; "
+            "supported by: "
+            f"{', '.join(sorted(registry.supporting('streaming')))})"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist completed streaming chunks to a JSON-lines checkpoint "
+            "in DIR (implies --streaming); re-running the same sweep with "
+            "the same DIR resumes bit-identically after a kill"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         choices=engine_registry.names(),
         default=None,
@@ -186,6 +213,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = (
         list(registry.names()) if args.experiment == "all" else [args.experiment]
     )
+    if args.checkpoint is not None:
+        if args.streaming is False:
+            parser.error(
+                "--checkpoint requires the streaming path; drop --no-streaming"
+            )
+        # A checkpoint only makes sense on the chunked streaming path.
+        args.streaming = True
     for option in registry.CAPABILITIES:
         if getattr(args, option) is not None:
             message = registry.unsupported_option_message(option, names)
@@ -210,6 +244,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             option_note += f", protocols={','.join(args.protocols)}"
         if args.plan:
             option_note += f", plan={args.plan}"
+        if args.streaming is not None:
+            option_note += f", streaming={args.streaming}"
+        if args.checkpoint:
+            option_note += f", checkpoint={args.checkpoint}"
         if args.engine:
             option_note += f", engine={args.engine}"
         runs_note = "default" if args.runs is None else args.runs
@@ -228,6 +266,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             scenario=args.scenario,
             protocols=args.protocols,
             plan=args.plan,
+            streaming=args.streaming,
+            checkpoint=args.checkpoint,
             engine=args.engine,
         )
         for note in run.notes:

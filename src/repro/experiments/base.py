@@ -29,6 +29,8 @@ def run_scenario_set(
     progress: ProgressCallback | None = None,
     workers: int | None = 1,
     set_factory=MeasurementSet,
+    streaming: bool = False,
+    checkpoint=None,
 ) -> dict[str, MeasurementSet]:
     """Run every scenario *runs* times and collect the measurements.
 
@@ -43,6 +45,12 @@ def run_scenario_set(
     out over a process pool with bit-for-bit identical results, and
     ``workers=None`` uses one worker per CPU.  *set_factory* chooses the
     per-label result container (see :data:`repro.experiments.runner.SetFactory`).
+
+    ``streaming=True`` switches to the memory-bounded streaming path: the
+    result maps each label to a mergeable
+    :class:`~repro.metrics.streaming.ElectionAggregate` instead of a
+    measurement set, and *checkpoint* (a directory) makes the sweep
+    resumable bit-identically after a kill.
     """
     from repro.experiments.runner import run_sweep
 
@@ -53,6 +61,8 @@ def run_scenario_set(
         progress=progress,
         workers=workers,
         set_factory=set_factory,
+        streaming=streaming,
+        checkpoint=checkpoint,
     )
 
 

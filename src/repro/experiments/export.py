@@ -408,6 +408,34 @@ def read_measurements_json(path: str | Path) -> dict[str, MeasurementSet]:
 # --------------------------------------------------------------------------- #
 # Flat aggregate rows (experiments whose results are cells, not raw episodes)
 # --------------------------------------------------------------------------- #
+def aggregate_to_row(label: str, aggregate) -> dict[str, object]:
+    """Flatten one streaming :class:`~repro.metrics.streaming.ElectionAggregate`
+    into a scalar ``"rows"``-kind dict.
+
+    The streaming sweep path never retains episodes, so its export is one
+    aggregate row per cell -- counts, fractions and the summary statistics of
+    the converged total election time (``None`` when nothing converged).
+    """
+    summary = aggregate.total_summary() if aggregate.converged else None
+    return {
+        "label": label,
+        "runs": aggregate.runs,
+        "converged": aggregate.converged,
+        "convergence": round(aggregate.convergence_fraction(), 6),
+        "split_vote_fraction": round(aggregate.split_vote_fraction(), 6),
+        "mean_campaigns": (
+            round(aggregate.mean_campaigns(), 6) if aggregate.runs else None
+        ),
+        "mean_total_ms": round(summary.mean, 3) if summary else None,
+        "p50_total_ms": round(summary.median, 3) if summary else None,
+        "p95_total_ms": round(summary.p95, 3) if summary else None,
+        "p99_total_ms": round(summary.p99, 3) if summary else None,
+        "min_total_ms": round(summary.minimum, 3) if summary else None,
+        "max_total_ms": round(summary.maximum, 3) if summary else None,
+        "std_total_ms": round(summary.std_dev, 3) if summary else None,
+    }
+
+
 def write_rows_csv(path: str | Path, rows: Sequence[Mapping[str, object]]) -> Path:
     """Write a sequence of uniform scalar-valued dicts to one CSV file."""
     destination = Path(path)

@@ -1,0 +1,206 @@
+"""fig9-xl: the Figure 9 scale curve extended to data-center sizes (s <= 1024).
+
+The paper's scale experiment (Section VI-B) stops at 128 servers.  This
+extension pushes the same ESCAPE-vs-Raft comparison to s = 256, 512 and 1024
+on top of the streaming sweep engine: workers aggregate episodes into
+mergeable per-label partials (:class:`~repro.metrics.streaming.ElectionAggregate`),
+so the parent's memory stays O(labels) no matter how many episodes run, and
+``--checkpoint DIR`` makes the multi-minute large-``s`` sweeps resumable
+bit-identically after a kill.  Run it with ``--engine flat`` (or
+``REPRO_ENGINE=flat``): engines are bit-identical by contract and the flat
+engine covers the s >= 256 cells several times faster (see BENCH_core.json).
+
+Streaming is the default; ``--no-streaming`` (or ``streaming=False``) runs
+the identical sweep through the raw-measurement path and converts the
+episode sets to the same aggregate type, which a regression test uses to pin
+the streaming report equal to the in-memory one at paper sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro import protocols as protocol_registry
+from repro.cluster.scenarios import ElectionScenario
+from repro.common.errors import ConfigurationError
+from repro.experiments.base import ProgressCallback, run_scenario_set
+from repro.experiments.export import aggregate_to_row
+from repro.experiments.fig09_scale import build_scenarios, scale_label
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, ExporterBinding
+from repro.metrics.records import MeasurementSet
+from repro.metrics.stats import reduction_percent
+from repro.metrics.streaming import ElectionAggregate
+from repro.metrics.tables import render_table
+
+#: The extended size grid: the paper's five sizes plus the data-center tail.
+XL_SIZES: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: The protocols compared (same pair as Figure 9).
+PROTOCOLS: tuple[str, ...] = protocol_registry.RAFT_VS_ESCAPE
+
+
+@dataclass(frozen=True)
+class XlScaleResult:
+    """Mergeable aggregates per (protocol, cluster size) cell.
+
+    Both data paths land here: the streaming sweep produces the aggregates
+    directly, the raw path converts its measurement sets via
+    :meth:`ElectionAggregate.from_measurements` -- so reports and exports are
+    path-independent (bit-identical at paper sizes, where the aggregates stay
+    in their exact regime).
+    """
+
+    sizes: tuple[int, ...]
+    runs: int
+    by_label: Mapping[str, ElectionAggregate]
+    protocols: tuple[str, ...] = PROTOCOLS
+    #: Which data path produced the aggregates (provenance only).
+    streaming: bool = True
+
+    def aggregate_for(self, protocol: str, size: int) -> ElectionAggregate:
+        """The aggregate for one protocol at one scale."""
+        return self.by_label[scale_label(protocol, size)]
+
+    def cdf_for(self, protocol: str, size: int) -> list[tuple[float, float]]:
+        """CDF of the converged election times (exact at paper run counts)."""
+        return self.aggregate_for(protocol, size).total_cdf()
+
+    def average_for(self, protocol: str, size: int) -> float:
+        """Average total election time for one cell."""
+        return self.aggregate_for(protocol, size).mean_total_ms()
+
+    def reduction_for(self, size: int) -> float:
+        """ESCAPE's percentage reduction vs Raft at one scale."""
+        return reduction_percent(
+            self.average_for("raft", size), self.average_for("escape", size)
+        )
+
+
+def run(
+    runs: int = 20,
+    seed: int = 0,
+    sizes: Sequence[int] = XL_SIZES,
+    protocols: Sequence[str] = PROTOCOLS,
+    progress: ProgressCallback | None = None,
+    workers: int | None = 1,
+    streaming: bool = True,
+    checkpoint: str | None = None,
+) -> XlScaleResult:
+    """Execute the extended scale sweep.
+
+    ``streaming=True`` (the default) uses the memory-bounded streaming
+    engine; ``checkpoint`` (a directory) persists completed chunks so a
+    killed sweep resumes bit-identically.  ``streaming=False`` runs the raw
+    path and converts, for the path-equality pin.
+    """
+    scenarios = build_scenarios(sizes, protocols)
+    if streaming:
+        by_label = run_scenario_set(
+            scenarios,
+            runs=runs,
+            seed=seed,
+            progress=progress,
+            workers=workers,
+            streaming=True,
+            checkpoint=checkpoint,
+        )
+    else:
+        if checkpoint is not None:
+            raise ConfigurationError(
+                "checkpointing requires the streaming path; "
+                "drop streaming=False or the checkpoint"
+            )
+        raw: Mapping[str, MeasurementSet] = run_scenario_set(
+            scenarios, runs=runs, seed=seed, progress=progress, workers=workers
+        )
+        by_label = {
+            label: ElectionAggregate.from_measurements(
+                measurement_set.measurements, label
+            )
+            for label, measurement_set in raw.items()
+        }
+    return XlScaleResult(
+        sizes=tuple(sizes),
+        runs=runs,
+        by_label=by_label,
+        protocols=tuple(protocols),
+        streaming=streaming,
+    )
+
+
+def report(result: XlScaleResult) -> str:
+    """Render mean/p99/max/reduction/split-vote rows per scale.
+
+    Deliberately derived from the aggregates alone (never from raw
+    episodes), so the streaming and in-memory paths render byte-identical
+    reports whenever their aggregates agree.
+    """
+    with_reduction = {"raft", "escape"} <= set(result.protocols)
+    labels = {
+        protocol: protocol_registry.title(protocol)
+        for protocol in result.protocols
+    }
+    headers = ["servers"]
+    headers += [f"{labels[protocol]} mean (ms)" for protocol in result.protocols]
+    if with_reduction:
+        headers.append("reduction")
+    headers += [f"{labels[protocol]} p99 (ms)" for protocol in result.protocols]
+    headers += [f"{labels[protocol]} max (ms)" for protocol in result.protocols]
+    headers += [f"{labels[protocol]} split votes" for protocol in result.protocols]
+    rows = []
+    for size in result.sizes:
+        summaries = {
+            protocol: result.aggregate_for(protocol, size).total_summary()
+            for protocol in result.protocols
+        }
+        row: list[object] = [size]
+        row += [f"{summaries[protocol].mean:.0f}" for protocol in result.protocols]
+        if with_reduction:
+            row.append(f"{result.reduction_for(size):.1f}%")
+        row += [f"{summaries[protocol].p99:.0f}" for protocol in result.protocols]
+        row += [f"{summaries[protocol].maximum:.0f}" for protocol in result.protocols]
+        row += [
+            f"{100 * result.aggregate_for(protocol, size).split_vote_fraction():.1f}%"
+            for protocol in result.protocols
+        ]
+        rows.append(row)
+    return render_table(
+        headers=headers,
+        rows=rows,
+        title=(
+            "Figure 9 XL — election time vs cluster size, extended to "
+            f"s={result.sizes[-1]} ({result.runs} runs per cell)"
+        ),
+    )
+
+
+def _export_rows(result: XlScaleResult) -> list[dict[str, object]]:
+    """Exporter binding: one aggregate row per (protocol, size) cell."""
+    return [
+        aggregate_to_row(label, aggregate)
+        for label, aggregate in result.by_label.items()
+    ]
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig9-xl",
+        title="Figure 9 extended to data-center scale (streaming sweep)",
+        paper_ref="Figure 9 / Section VI-B (extended)",
+        description=(
+            "ESCAPE vs Raft to 1024 servers on the streaming sweep engine: "
+            "O(labels) parent memory, checkpoint/resume, flat-engine "
+            "recommended"
+        ),
+        run=run,
+        reporter=report,
+        default_runs=20,
+        params={"sizes": XL_SIZES},
+        quick_params={"sizes": (8, 16)},
+        supports_protocols=True,
+        supports_streaming=True,
+        exporter=ExporterBinding(kind="rows", extract=_export_rows),
+    )
+)

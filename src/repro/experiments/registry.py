@@ -205,6 +205,8 @@ def run_experiment(
     scenario: str | None = None,
     protocols: Sequence[str] | None = None,
     plan: str | None = None,
+    streaming: bool | None = None,
+    checkpoint: str | None = None,
     engine: str | None = None,
     **param_overrides: object,
 ) -> ExperimentRun:
@@ -224,6 +226,12 @@ def run_experiment(
         protocols: protocol names replacing the experiment's default
             comparison (protocol-capable experiments).
         plan: named chaos plan (plan-capable experiments).
+        streaming: select (``True``) or veto (``False``) the streaming sweep
+            path for streaming-capable experiments; ``None`` keeps the
+            spec's own default.
+        checkpoint: directory for the streaming path's JSON-lines chunk
+            checkpoint (implies ``streaming=True``); a killed run re-invoked
+            with the same checkpoint resumes bit-identically.
         engine: simulation engine name from :mod:`repro.sim.engines`
             (``None`` keeps the process default).  Engines are bit-identical
             by contract, so this changes wall-clock time only; the resolved
@@ -238,10 +246,18 @@ def run_experiment(
             options, unknown parameter overrides, or unsweepable protocols.
     """
     spec = get(name)
+    if checkpoint is not None:
+        if streaming is False:
+            raise ConfigurationError(
+                "checkpoint= requires the streaming path; "
+                "drop streaming=False or the checkpoint"
+            )
+        streaming = True
     for option, value in (
         ("scenario", scenario),
         ("protocols", protocols),
         ("plan", plan),
+        ("streaming", streaming),
     ):
         if value is not None and not getattr(spec, f"supports_{option}"):
             raise ConfigurationError(
@@ -275,6 +291,10 @@ def run_experiment(
         call_kwargs["protocols"] = protocols
     if plan is not None:
         call_kwargs["plan"] = plan
+    if streaming is not None:
+        call_kwargs["streaming"] = streaming
+    if checkpoint is not None:
+        call_kwargs["checkpoint"] = checkpoint
 
     # elapsed_s is run *metadata* (how long the sweep took on this machine),
     # never an input to the simulation, so the wall clock is legitimate here.
@@ -292,12 +312,15 @@ def run_experiment(
         ("scenario", scenario),
         ("protocols", protocols),
         ("plan", plan),
+        ("streaming", streaming),
     ):
         if value is not None:
             superseded = spec.capability_overrides.get(option)
             if superseded is not None:
                 parameters.pop(superseded, None)
             parameters[option] = value
+    if checkpoint is not None:
+        parameters["checkpoint"] = str(checkpoint)
     return ExperimentRun(
         name=name,
         title=spec.title,

@@ -4,16 +4,38 @@ Every figure of the paper is reproduced by running thousands of independent
 leader-election episodes.  Each episode is a pure function of
 ``(scenario, seed)`` (see :mod:`repro.common.rng`), so the sweep fans out
 perfectly: this module splits a scenario mapping into ``(label, run index)``
-work items, executes them across a :mod:`multiprocessing` pool, and streams
-the per-run :class:`~repro.metrics.records.ElectionMeasurement`\\ s back to the
-parent for aggregation into :class:`~repro.metrics.records.MeasurementSet`\\ s.
+work items, executes them across a :mod:`multiprocessing` pool, and
+aggregates the per-run :class:`~repro.metrics.records.ElectionMeasurement`\\ s
+in the parent.
+
+Two data paths share the work-item layer:
+
+* **raw** (the default) -- every measurement travels back to the parent and
+  lands in a :class:`~repro.metrics.records.MeasurementSet`; experiments that
+  need episode-level records keep using this.
+* **streaming** (``streaming=True``) -- workers execute whole chunks and
+  return one mergeable partial aggregate per label per chunk
+  (:class:`~repro.metrics.streaming.ElectionAggregate`), cutting IPC by the
+  chunk factor and keeping parent memory O(labels) instead of O(runs).
+  Partials merge in chunk-index order, so results are bit-identical at any
+  worker count, and each completed chunk can be persisted to a JSON-lines
+  checkpoint (:mod:`repro.experiments.checkpoint`) from which a killed sweep
+  resumes bit-identically.
+
+Work items are lean ``(label, index, seed)`` triples: the label -> scenario
+table ships **once** per worker through the pool initializer instead of being
+pickled into every item.  Items are interleaved across labels before
+chunking (run 0 of every label, then run 1, ...), so a size-mixed sweep like
+fig9-xl -- where an s=1024 episode costs ~1000x an s=8 one -- never ends on a
+straggler chunk of only-huge episodes.
 
 Determinism is preserved bit-for-bit: seeds are derived by exactly the same
 per-``(label, index)`` scheme as the sequential path (one shared helper,
 :func:`repro.experiments.base.paired_seeds`), workers never share random
-state, and results are re-assembled in ``(label, index)`` order regardless of
-completion order.  ``run_sweep(..., workers=4)`` therefore returns the same
-measurement sets as ``workers=1``, which a regression test pins.
+state, and aggregation order is fixed (slot order for the raw path, chunk
+order for the streaming path) regardless of completion order.
+``run_sweep(..., workers=4)`` therefore returns the same results as
+``workers=1``, which regression tests pin for both paths.
 
 ``workers=1`` (the default) and platforms without a usable ``fork``/``spawn``
 pool fall through to an in-process loop that shares the same work-item and
@@ -32,17 +54,24 @@ from repro import protocols
 from repro.cluster.scenarios import ElectionScenario
 from repro.common.errors import SweepError
 from repro.experiments.base import ProgressCallback, paired_seeds
+from repro.experiments.checkpoint import SweepCheckpoint, checkpoint_fingerprint
 from repro.metrics.records import ElectionMeasurement, MeasurementSet
+from repro.metrics.streaming import ElectionAggregate
 from repro.protocols import ProtocolSpec
 from repro.sim import engines
 from repro.sim.engines import EngineSpec
 
 __all__ = [
+    "AggregateFactory",
+    "MAX_CHUNK_ITEMS",
     "SetFactory",
+    "SweepChunk",
     "SweepItem",
+    "build_chunks",
     "build_work_items",
     "resolve_workers",
     "run_sweep",
+    "streaming_chunk_size",
 ]
 
 #: Builds one per-label result container from ``(measurements, label)``.
@@ -51,15 +80,45 @@ __all__ = [
 #: in a container whose API actually matches them.
 SetFactory = Callable[[Iterable, str], object]
 
+#: Builds one empty mergeable aggregate for a label.  The default,
+#: :class:`~repro.metrics.streaming.ElectionAggregate`, fits election sweeps;
+#: any replacement must provide ``add(measurement)``, ``merge(other)`` and
+#: ``__len__`` (plus ``to_state``/``from_state`` when checkpointing).
+AggregateFactory = Callable[[str], object]
+
+#: Upper bound on items per chunk.  Chunking amortises per-item IPC, but a
+#: chunk is also the unit of load balancing (and of checkpointing), so in a
+#: size-mixed sweep an unbounded chunk would serialise many expensive
+#: episodes behind one worker.
+MAX_CHUNK_ITEMS = 64
+
 
 @dataclass(frozen=True)
 class SweepItem:
-    """One unit of sweep work: a single seeded episode of one scenario."""
+    """One unit of sweep work: a single seeded episode of one scenario.
+
+    Deliberately lean -- the scenario itself is *not* embedded; workers
+    resolve ``label`` against the scenario table the pool initializer
+    installed once per process, so the task queue carries three scalars per
+    episode instead of a pickled scenario.
+    """
 
     label: str
     index: int
     seed: int
-    scenario: ElectionScenario
+
+
+@dataclass(frozen=True)
+class SweepChunk:
+    """A contiguous slice of the interleaved work-item list.
+
+    The streaming path's unit of execution, aggregation, and checkpointing:
+    workers return one partial aggregate per label per chunk, and the parent
+    merges chunks strictly in ``chunk_id`` order.
+    """
+
+    chunk_id: int
+    items: tuple[SweepItem, ...]
 
 
 def build_work_items(
@@ -69,12 +128,39 @@ def build_work_items(
 
     Seed derivation delegates to :func:`repro.experiments.base.paired_seeds`
     so the parallel engine and the paired A/B helpers can never drift apart.
+
+    Items are interleaved across labels (run 0 of every label, then run 1,
+    ...) so that chunking a size-mixed sweep yields chunks of roughly equal
+    cost instead of label-major runs of only-cheap or only-expensive
+    episodes.
     """
+    seeds = {label: paired_seeds(runs, seed, label) for label in scenarios}
     items: list[SweepItem] = []
-    for label, scenario in scenarios.items():
-        for index, run_seed in enumerate(paired_seeds(runs, seed, label)):
-            items.append(SweepItem(label, index, run_seed, scenario))
+    for index in range(runs):
+        for label in scenarios:
+            items.append(SweepItem(label, index, seeds[label][index]))
     return items
+
+
+def build_chunks(items: list[SweepItem], chunk_size: int) -> list[SweepChunk]:
+    """Partition the interleaved item list into fixed-size chunks."""
+    if chunk_size < 1:
+        raise SweepError(f"chunk size must be >= 1, got {chunk_size}")
+    return [
+        SweepChunk(chunk_id, tuple(items[start : start + chunk_size]))
+        for chunk_id, start in enumerate(range(0, len(items), chunk_size))
+    ]
+
+
+def streaming_chunk_size(item_count: int) -> int:
+    """Chunk size for the streaming path.
+
+    Deliberately **independent of the worker count**: the chunk partition
+    fixes the aggregate merge tree, so making it worker-free keeps streaming
+    results bit-identical at any ``--workers`` value (and lets a checkpoint
+    written under one worker count resume under another).
+    """
+    return max(1, min(MAX_CHUNK_ITEMS, item_count // 16))
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -86,14 +172,56 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+# --------------------------------------------------------------------------- #
+# Worker-side state and execution
+# --------------------------------------------------------------------------- #
+
+#: Per-worker scenario table, installed once by the pool initializer so work
+#: items never carry (and the task queue never re-pickles) scenarios.
+_WORKER_SCENARIOS: Mapping[str, ElectionScenario] = {}
+
+#: Per-worker aggregate factory for the streaming path.
+_WORKER_AGGREGATE_FACTORY: AggregateFactory = ElectionAggregate
+
+
 def _execute_item(
     item: SweepItem,
 ) -> tuple[str, int, ElectionMeasurement | None, str | None]:
     """Run one work item; exceptions come back as strings (pool-safe)."""
     try:
-        return item.label, item.index, item.scenario.run(item.seed), None
+        scenario = _WORKER_SCENARIOS[item.label]
+        return item.label, item.index, scenario.run(item.seed), None
     except Exception as exc:  # noqa: BLE001 - re-raised as SweepError in parent
         return item.label, item.index, None, f"{type(exc).__name__}: {exc}"
+
+
+def _aggregate_chunk(
+    chunk: SweepChunk,
+    scenarios: Mapping[str, ElectionScenario],
+    aggregate_factory: AggregateFactory,
+) -> dict[str, object]:
+    """Execute one chunk and fold its episodes into per-label partials."""
+    partials: dict[str, object] = {}
+    for item in chunk.items:
+        measurement = scenarios[item.label].run(item.seed)
+        partial = partials.get(item.label)
+        if partial is None:
+            partials[item.label] = partial = aggregate_factory(item.label)
+        partial.add(measurement)
+    return partials
+
+
+def _execute_chunk(
+    chunk: SweepChunk,
+) -> tuple[int, dict[str, object] | None, str | None]:
+    """Run one chunk in a pool worker; exceptions come back as strings."""
+    try:
+        partials = _aggregate_chunk(
+            chunk, _WORKER_SCENARIOS, _WORKER_AGGREGATE_FACTORY
+        )
+        return chunk.chunk_id, partials, None
+    except Exception as exc:  # noqa: BLE001 - re-raised as SweepError in parent
+        return chunk.chunk_id, None, f"{type(exc).__name__}: {exc}"
 
 
 def _swept_specs(scenarios: Mapping[str, ElectionScenario]) -> tuple[ProtocolSpec, ...]:
@@ -135,8 +263,10 @@ def _register_worker_specs(
     specs: tuple[ProtocolSpec, ...],
     engine_specs: tuple[EngineSpec, ...] = (),
     default_engine: str | None = None,
+    scenarios: Mapping[str, ElectionScenario] | None = None,
+    aggregate_factory: AggregateFactory | None = None,
 ) -> None:
-    """Pool initializer: mirror the parent's protocol and engine registrations.
+    """Pool initializer: mirror the parent's registries and scenario table.
 
     ``spawn`` workers re-import :mod:`repro.protocols` and therefore only see
     the built-in registrations; any custom spec the parent registered would
@@ -153,6 +283,10 @@ def _register_worker_specs(
     ``"classic"`` even when the parent selected ``--engine flat``.  Engines
     are bit-identical by contract, so this is a performance guarantee, not a
     correctness one.
+
+    The label -> scenario table also rides in here exactly once per worker:
+    work items then only carry ``(label, index, seed)``, which shrinks the
+    task-queue pickle traffic by the full scenario size per episode.
     """
     for spec in specs:
         protocols.register(spec, replace=True)
@@ -160,6 +294,12 @@ def _register_worker_specs(
         engines.register(engine_spec, replace=True)
     if default_engine is not None:
         engines.set_default_engine(default_engine)
+    if scenarios is not None:
+        global _WORKER_SCENARIOS
+        _WORKER_SCENARIOS = scenarios
+    if aggregate_factory is not None:
+        global _WORKER_AGGREGATE_FACTORY
+        _WORKER_AGGREGATE_FACTORY = aggregate_factory
 
 
 def _pool_context() -> multiprocessing.context.BaseContext | None:
@@ -176,6 +316,31 @@ def _pool_context() -> multiprocessing.context.BaseContext | None:
         if method in methods:
             return multiprocessing.get_context(method)
     return None
+
+
+def _make_pool(
+    context: multiprocessing.context.BaseContext,
+    workers: int,
+    scenarios: Mapping[str, ElectionScenario],
+    aggregate_factory: AggregateFactory | None,
+):
+    """A pool whose workers carry the parent's registries + scenario table."""
+    return context.Pool(
+        processes=workers,
+        initializer=_register_worker_specs,
+        initargs=(
+            _swept_specs(scenarios),
+            _swept_engine_specs(scenarios),
+            engines.default_engine_name(),
+            dict(scenarios),
+            aggregate_factory,
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Raw-measurement accounting (the original path)
+# --------------------------------------------------------------------------- #
 
 
 class _SweepAccounting:
@@ -228,9 +393,78 @@ class _SweepAccounting:
         return sets
 
 
+# --------------------------------------------------------------------------- #
+# Streaming accounting (O(labels) parent memory)
+# --------------------------------------------------------------------------- #
+
+
+class _StreamingAccounting:
+    """Merges per-chunk partial aggregates strictly in chunk-index order.
+
+    Chunks complete in arbitrary order under a pool; out-of-order arrivals
+    are buffered (bounded by the number of in-flight chunks) and folded in
+    as soon as the next expected chunk lands.  Fixing the merge order fixes
+    the aggregate merge tree, which is what makes streaming results
+    bit-identical across worker counts and checkpoint resumes.  Parent
+    memory is O(labels): one running aggregate per label, never an episode
+    list.
+    """
+
+    def __init__(
+        self,
+        scenarios: Mapping[str, ElectionScenario],
+        runs: int,
+        progress: ProgressCallback | None,
+        aggregate_factory: AggregateFactory,
+        total_chunks: int,
+    ) -> None:
+        self._runs = runs
+        self._progress = progress
+        self._total_chunks = total_chunks
+        self._aggregates: dict[str, object] = {
+            label: aggregate_factory(label) for label in scenarios
+        }
+        self._done: dict[str, int] = {label: 0 for label in scenarios}
+        self._next_chunk = 0
+        self._pending: dict[int, Mapping[str, object]] = {}
+
+    def record_chunk(self, chunk_id: int, partials: Mapping[str, object]) -> None:
+        if chunk_id in self._pending or chunk_id < self._next_chunk:
+            raise SweepError(f"chunk {chunk_id} reported twice")
+        self._pending[chunk_id] = partials
+        while self._next_chunk in self._pending:
+            for label, partial in self._pending.pop(self._next_chunk).items():
+                self._aggregates[label].merge(partial)
+                self._done[label] += len(partial)
+                if self._progress is not None:
+                    self._progress(label, self._done[label], self._runs)
+            self._next_chunk += 1
+
+    def results(self) -> dict[str, object]:
+        if self._next_chunk != self._total_chunks or self._pending:
+            raise SweepError(
+                f"streaming sweep incomplete: merged {self._next_chunk} of "
+                f"{self._total_chunks} chunks"
+            )
+        for label, done in self._done.items():
+            if done != self._runs:
+                raise SweepError(
+                    f"scenario {label!r} aggregated {done} of {self._runs} "
+                    "runs; a worker probably died without reporting"
+                )
+        return dict(self._aggregates)
+
+
 def _chunk_size(item_count: int, workers: int) -> int:
-    """Pool chunk size: enough chunks per worker to balance uneven episodes."""
-    return max(1, item_count // (workers * 8))
+    """Raw-path pool chunk size: several chunks per worker, capped.
+
+    The cap matters for size-mixed sweeps (fig9/fig9-xl): an s=1024 episode
+    costs ~1000x an s=8 one, so an uncapped ``items // (workers * 8)`` chunk
+    of label-adjacent items used to strand one worker with a tail of
+    only-expensive episodes.  With interleaved items and the cap, every
+    chunk mixes sizes and the tail stays balanced.
+    """
+    return max(1, min(MAX_CHUNK_ITEMS, item_count // (workers * 8)))
 
 
 def run_sweep(
@@ -240,7 +474,10 @@ def run_sweep(
     progress: ProgressCallback | None = None,
     workers: int | None = 1,
     set_factory: SetFactory = MeasurementSet,
-) -> dict[str, MeasurementSet]:
+    streaming: bool = False,
+    aggregate_factory: AggregateFactory = ElectionAggregate,
+    checkpoint: str | os.PathLike | None = None,
+) -> dict[str, object]:
     """Run every scenario *runs* times, fanned out over *workers* processes.
 
     Args:
@@ -249,21 +486,39 @@ def run_sweep(
         runs: independent episodes per scenario.
         seed: root seed for the per-``(label, index)`` derivation.
         progress: optional callback invoked as ``progress(label, done,
-            runs)`` each time one episode of *label* finishes.  Per-label
-            counts are monotonic; interleaving across labels is
-            completion-ordered when ``workers > 1``.
+            runs)``; per-label counts are monotonic.  The raw path reports
+            per episode, the streaming path per merged chunk.
         workers: process count; ``1`` runs in-process, ``None`` uses one
             worker per CPU.
-        set_factory: builds each per-label container from ``(measurements,
-            label)``; scenarios whose ``run(seed)`` returns something other
-            than an :class:`ElectionMeasurement` pass a matching container
-            (the availability experiment passes ``AvailabilitySet``).
+        set_factory: (raw path) builds each per-label container from
+            ``(measurements, label)``.
+        streaming: aggregate worker-side into mergeable partials instead of
+            shipping every measurement; parent memory drops from O(runs) to
+            O(labels) and IPC shrinks by the chunk factor.  Results are
+            bit-identical across worker counts.
+        aggregate_factory: (streaming path) builds one empty mergeable
+            aggregate per label; defaults to
+            :class:`~repro.metrics.streaming.ElectionAggregate`.
+        checkpoint: (streaming path) directory for the JSON-lines chunk
+            checkpoint; completed chunks persist there and a re-run of the
+            same sweep resumes bit-identically.
 
     Returns:
-        One container per scenario label, with measurements in run-index
-        order -- identical contents for every worker count.
+        One container per scenario label: a *set_factory* product (raw path)
+        or an *aggregate_factory* product (streaming path) -- identical
+        contents for every worker count.
     """
     workers = resolve_workers(workers)
+    if streaming:
+        return _run_sweep_streaming(
+            scenarios, runs, seed, progress, workers, aggregate_factory, checkpoint
+        )
+    if checkpoint is not None:
+        raise SweepError(
+            "checkpointing requires the streaming path; "
+            "pass streaming=True alongside checkpoint="
+        )
+
     items = build_work_items(scenarios, runs, seed)
     accounting = _SweepAccounting(scenarios, runs, progress, set_factory)
     context = _pool_context() if workers > 1 and len(items) > 1 else None
@@ -274,7 +529,7 @@ def run_sweep(
         # failing frame's traceback survives into the SweepError.
         for item in items:
             try:
-                measurement = item.scenario.run(item.seed)
+                measurement = scenarios[item.label].run(item.seed)
             except Exception as exc:
                 raise SweepError(
                     f"scenario {item.label!r} run {item.index} failed: "
@@ -283,17 +538,95 @@ def run_sweep(
             accounting.record(item.label, item.index, measurement, None)
         return accounting.results()
 
-    with context.Pool(
-        processes=min(workers, len(items)),
-        initializer=_register_worker_specs,
-        initargs=(
-            _swept_specs(scenarios),
-            _swept_engine_specs(scenarios),
-            engines.default_engine_name(),
-        ),
+    with _make_pool(
+        context, min(workers, len(items)), scenarios, None
     ) as pool:
         for outcome in pool.imap_unordered(
             _execute_item, items, chunksize=_chunk_size(len(items), workers)
         ):
             accounting.record(*outcome)
+    return accounting.results()
+
+
+def _run_sweep_streaming(
+    scenarios: Mapping[str, ElectionScenario],
+    runs: int,
+    seed: int,
+    progress: ProgressCallback | None,
+    workers: int,
+    aggregate_factory: AggregateFactory,
+    checkpoint: str | os.PathLike | None,
+) -> dict[str, object]:
+    """The streaming data path: chunked execution, ordered partial merges."""
+    items = build_work_items(scenarios, runs, seed)
+    chunk_size = streaming_chunk_size(len(items))
+
+    ckpt: SweepCheckpoint | None = None
+    if checkpoint is not None:
+        loader = getattr(aggregate_factory, "from_state", None)
+        if loader is None:
+            raise SweepError(
+                f"aggregate factory {aggregate_factory!r} has no from_state(); "
+                "checkpointing needs JSON-able partials"
+            )
+        ckpt = SweepCheckpoint.open(
+            checkpoint,
+            fingerprint=checkpoint_fingerprint(
+                scenarios, runs, seed, aggregate_factory
+            ),
+            labels=list(scenarios),
+            runs=runs,
+            seed=seed,
+            chunk_size=chunk_size,
+            loader=loader,
+        )
+        # A resumed file pins the partition it was written with, so a
+        # different --workers (or a future heuristic change) can't shift
+        # chunk boundaries mid-sweep.
+        chunk_size = ckpt.chunk_size
+
+    chunks = build_chunks(items, chunk_size)
+    accounting = _StreamingAccounting(
+        scenarios, runs, progress, aggregate_factory, len(chunks)
+    )
+
+    try:
+        restored = ckpt.completed if ckpt is not None else {}
+        for chunk_id in sorted(restored):
+            accounting.record_chunk(chunk_id, restored[chunk_id])
+        pending = [chunk for chunk in chunks if chunk.chunk_id not in restored]
+
+        context = (
+            _pool_context() if workers > 1 and len(pending) > 1 else None
+        )
+        if context is None:
+            for chunk in pending:
+                try:
+                    partials = _aggregate_chunk(chunk, scenarios, aggregate_factory)
+                except Exception as exc:
+                    raise SweepError(
+                        f"streaming chunk {chunk.chunk_id} "
+                        f"(labels {sorted({i.label for i in chunk.items})!r}) "
+                        f"failed: {type(exc).__name__}: {exc}"
+                    ) from exc
+                if ckpt is not None:
+                    ckpt.record(chunk.chunk_id, partials)
+                accounting.record_chunk(chunk.chunk_id, partials)
+        else:
+            with _make_pool(
+                context, min(workers, len(pending)), scenarios, aggregate_factory
+            ) as pool:
+                for chunk_id, partials, error in pool.imap_unordered(
+                    _execute_chunk, pending
+                ):
+                    if error is not None or partials is None:
+                        raise SweepError(
+                            f"streaming chunk {chunk_id} failed: {error}"
+                        )
+                    if ckpt is not None:
+                        ckpt.record(chunk_id, partials)
+                    accounting.record_chunk(chunk_id, partials)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
     return accounting.results()

@@ -42,7 +42,9 @@ RunCallable = Callable[..., object]
 Reporter = Callable[[object], str]
 
 #: The sweep-wide options an experiment can opt into, in CLI order.
-CAPABILITIES = ("scenario", "protocols", "plan")
+#: ``streaming`` selects the sweep engine's memory-bounded data path
+#: (worker-side aggregation, O(labels) parent memory, checkpointable).
+CAPABILITIES = ("scenario", "protocols", "plan", "streaming")
 
 #: How an exporter binding's extracted payload is persisted:
 #: ``"election"`` -- a mapping of label -> :class:`~repro.metrics.records.MeasurementSet`;
@@ -98,6 +100,11 @@ class ExperimentSpec:
             from :mod:`repro.protocols`).
         supports_plan: understands the ``plan`` keyword (a chaos plan from
             :data:`repro.chaos.plans.CHAOS_CATALOG`).
+        supports_streaming: understands the ``streaming`` keyword (and the
+            companion ``checkpoint`` directory): the experiment can run its
+            sweep on the streaming engine -- worker-side mergeable
+            aggregates, O(labels) parent memory, resumable from a
+            JSON-lines checkpoint (see :mod:`repro.experiments.runner`).
         supports_workers: whether *run* takes the sweep engine's
             ``progress``/``workers`` keywords; ``False`` for in-process
             models that would only pay pool start-up (the CLI notes that
@@ -127,6 +134,7 @@ class ExperimentSpec:
     supports_scenario: bool = False
     supports_protocols: bool = False
     supports_plan: bool = False
+    supports_streaming: bool = False
     supports_workers: bool = True
     min_runs: int | None = None
     capability_overrides: Mapping[str, str] = field(default_factory=FrozenDict)

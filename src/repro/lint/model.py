@@ -112,7 +112,16 @@ class LintConfig:
     #: S2 -- modules of :mod:`repro.experiments` that are harness
     #: infrastructure rather than experiment definitions.
     experiment_infra_modules: frozenset[str] = frozenset(
-        {"__init__", "__main__", "base", "export", "registry", "runner", "spec"}
+        {
+            "__init__",
+            "__main__",
+            "base",
+            "checkpoint",
+            "export",
+            "registry",
+            "runner",
+            "spec",
+        }
     )
 
     def is_allowed(self, rel_path: str | None, prefixes: tuple[str, ...]) -> bool:

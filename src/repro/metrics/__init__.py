@@ -19,13 +19,23 @@ from repro.metrics.stats import (
     summarize,
     SummaryStatistics,
 )
+from repro.metrics.streaming import (
+    DEFAULT_CDF_CAPACITY,
+    ElectionAggregate,
+    MergeableCDF,
+    StreamingSummary,
+)
 from repro.metrics.tables import render_comparison_table, render_table
 
 __all__ = [
     "AvailabilityMeasurement",
     "AvailabilitySet",
+    "DEFAULT_CDF_CAPACITY",
+    "ElectionAggregate",
     "ElectionMeasurement",
     "MeasurementSet",
+    "MergeableCDF",
+    "StreamingSummary",
     "SummaryStatistics",
     "cumulative_distribution",
     "percentile",

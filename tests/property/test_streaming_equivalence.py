@@ -1,0 +1,127 @@
+"""Property-based pins for the streaming/batch equivalence contract.
+
+The streaming sweep engine only preserves the repository's determinism
+guarantee if its aggregates are *exactly* the batch statistics in disguise.
+These properties pin the contract declared by :mod:`repro.metrics.streaming`
+for arbitrary samples: in the exact regime (count <= capacity), **any**
+chunking and **any** merge order of :class:`StreamingSummary` partials
+reproduce the batch ``summarize``/``cumulative_distribution`` results
+bit-identically; the JSON state round-trip (the checkpoint format) is
+bit-exact; and beyond the capacity the compression stays deterministic while
+count/min/max remain exact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    MergeableCDF,
+    StreamingSummary,
+    cumulative_distribution,
+    summarize,
+)
+
+CAPACITY = 64
+
+# Finite floats in a measurement-like range; duplicates are likely (small
+# grid) so ties exercise the stable-merge path.
+VALUES = st.lists(
+    st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False).map(
+        lambda value: round(value, 2)
+    ),
+    min_size=1,
+    max_size=CAPACITY,
+)
+
+# Chunk boundaries as a list of relative cut weights; normalised per sample.
+CUTS = st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=8)
+
+
+def _chunks(values, cuts):
+    """Split *values* into contiguous chunks sized by the relative *cuts*."""
+    total = sum(cuts)
+    chunks, start = [], 0
+    for cut in cuts:
+        end = min(len(values), start + max(1, round(len(values) * cut / total)))
+        if end > start:
+            chunks.append(values[start:end])
+        start = end
+    if start < len(values):
+        chunks.append(values[start:])
+    return chunks
+
+
+@given(values=VALUES, cuts=CUTS)
+def test_any_chunking_matches_batch_summary_bit_identically(values, cuts):
+    merged = StreamingSummary(capacity=CAPACITY)
+    for chunk in _chunks(values, cuts):
+        merged.merge(StreamingSummary(capacity=CAPACITY).extend(chunk))
+    assert merged.count == len(values)
+    # Bit-identical, not approximately equal: summarize returns a frozen
+    # dataclass, so == compares every statistic exactly.
+    assert merged.summary() == summarize(values)
+    assert merged.cumulative_distribution() == cumulative_distribution(values)
+
+
+@given(values=VALUES, cuts=CUTS, seed=st.integers(min_value=0, max_value=2**31))
+def test_merge_order_is_irrelevant_in_the_exact_regime(values, cuts, seed):
+    chunks = _chunks(values, cuts)
+    partials = [
+        StreamingSummary(capacity=CAPACITY).extend(chunk) for chunk in chunks
+    ]
+    # A deterministic permutation derived from the seed (no global RNG).
+    order = sorted(range(len(partials)), key=lambda i: (seed * 2654435761 + i) % 97)
+    permuted = StreamingSummary(capacity=CAPACITY)
+    for index in order:
+        permuted.merge(partials[index])
+    assert permuted.summary() == summarize(values)
+    assert permuted.cumulative_distribution() == cumulative_distribution(values)
+
+
+@given(values=VALUES)
+def test_json_state_round_trip_is_bit_exact(values):
+    summary = StreamingSummary(capacity=CAPACITY).extend(values)
+    state = json.loads(json.dumps(summary.to_state()))
+    restored = StreamingSummary.from_state(state)
+    assert restored.to_state() == summary.to_state()
+    assert restored.summary() == summary.summary()
+
+
+@settings(max_examples=25)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False),
+        min_size=20,
+        max_size=120,
+    )
+)
+def test_compressed_regime_is_deterministic_and_exact_on_extremes(values):
+    capacity = 8  # force compression for nearly every sample
+
+    def build():
+        return StreamingSummary(capacity=capacity).extend(values)
+
+    summary = build()
+    assert summary.to_state() == build().to_state()  # same sequence, same state
+    stats = summary.summary()
+    assert stats.count == len(values)
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)
+    assert min(values) <= stats.median <= max(values)
+    assert min(values) <= stats.p99 <= max(values)
+
+
+@given(values=VALUES, cuts=CUTS)
+def test_sketch_merge_is_lossless_while_exact(values, cuts):
+    merged = MergeableCDF(capacity=CAPACITY)
+    for chunk in _chunks(values, cuts):
+        partial = MergeableCDF(capacity=CAPACITY)
+        for value in chunk:
+            partial.add(value)
+        merged.merge(partial)
+    assert merged.exact
+    assert merged.values() == sorted(values)

@@ -1,0 +1,251 @@
+"""Unit tests for the streaming sweep path and its checkpoint/resume.
+
+Three contracts are pinned here on real (small) election scenarios:
+
+* **path equality** -- the streaming sweep's per-label aggregates are
+  observably equal to aggregating the raw path's measurement sets, and in
+  the exact regime their reported statistics are bit-identical;
+* **schedule invariance** -- the streaming result's serialised state is
+  byte-identical across worker counts, because the chunk partition is
+  worker-independent and partials merge in chunk-index order;
+* **resume invariance** -- a sweep killed after any prefix of chunks (here:
+  a checkpoint file truncated to a prefix, including a torn trailing line)
+  resumes to the byte-identical final state, even under a different worker
+  count, while an incompatible checkpoint is discarded rather than mixed in.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.common.errors import SweepError
+from repro.experiments.checkpoint import SweepCheckpoint, checkpoint_fingerprint
+from repro.experiments.runner import (
+    MAX_CHUNK_ITEMS,
+    build_chunks,
+    build_work_items,
+    run_sweep,
+    streaming_chunk_size,
+)
+from repro.metrics.records import MeasurementSet
+from repro.metrics.streaming import ElectionAggregate
+
+SCENARIOS = {
+    "escape-small": ElectionScenario(protocol="escape", cluster_size=3),
+    "raft-small": ElectionScenario(protocol="raft", cluster_size=3),
+}
+
+
+def _state_bytes(results: dict[str, ElectionAggregate]) -> str:
+    """Canonical byte-level serialisation of a streaming sweep's results."""
+    return json.dumps(
+        {label: results[label].to_state() for label in sorted(results)},
+        sort_keys=True,
+    )
+
+
+class TestWorkPartition:
+    def test_items_are_interleaved_across_labels(self):
+        items = build_work_items(SCENARIOS, runs=3, seed=0)
+        # Run 0 of every label first, then run 1, ... -- so a size-mixed
+        # sweep chunks into balanced-cost chunks instead of label-major runs.
+        assert [(item.label, item.index) for item in items] == [
+            ("escape-small", 0),
+            ("raft-small", 0),
+            ("escape-small", 1),
+            ("raft-small", 1),
+            ("escape-small", 2),
+            ("raft-small", 2),
+        ]
+
+    def test_chunks_partition_the_item_list(self):
+        items = build_work_items(SCENARIOS, runs=5, seed=0)
+        chunks = build_chunks(items, chunk_size=3)
+        assert [chunk.chunk_id for chunk in chunks] == [0, 1, 2, 3]
+        reassembled = [item for chunk in chunks for item in chunk.items]
+        assert reassembled == items
+        with pytest.raises(SweepError):
+            build_chunks(items, chunk_size=0)
+
+    def test_streaming_chunk_size_is_worker_free_and_capped(self):
+        # The signature itself is part of the contract: no worker count in
+        # sight, so the partition (and the merge tree) can never depend on it.
+        assert streaming_chunk_size(10) == 1
+        assert streaming_chunk_size(320) == 20
+        assert streaming_chunk_size(10**6) == MAX_CHUNK_ITEMS
+
+
+class TestStreamingPath:
+    def test_streaming_equals_aggregated_raw_path(self):
+        raw: dict[str, MeasurementSet] = run_sweep(
+            SCENARIOS, runs=4, seed=7, workers=1
+        )
+        streamed = run_sweep(SCENARIOS, runs=4, seed=7, workers=1, streaming=True)
+        assert list(streamed) == list(raw)
+        for label in raw:
+            expected = ElectionAggregate.from_measurements(
+                raw[label].measurements, label
+            )
+            assert streamed[label] == expected
+            # Bit-identical reported statistics (exact regime).
+            assert streamed[label].total_summary() == expected.total_summary()
+            assert streamed[label].total_cdf() == expected.total_cdf()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_streaming_state_is_byte_identical_across_worker_counts(self, workers):
+        baseline = run_sweep(SCENARIOS, runs=4, seed=3, workers=1, streaming=True)
+        fanned = run_sweep(
+            SCENARIOS, runs=4, seed=3, workers=workers, streaming=True
+        )
+        assert _state_bytes(fanned) == _state_bytes(baseline)
+
+    def test_streaming_progress_is_monotonic_and_complete(self):
+        calls: list[tuple[str, int, int]] = []
+        run_sweep(
+            SCENARIOS,
+            runs=4,
+            seed=0,
+            workers=1,
+            streaming=True,
+            progress=lambda label, done, total: calls.append((label, done, total)),
+        )
+        for label in SCENARIOS:
+            counts = [done for call_label, done, _ in calls if call_label == label]
+            assert counts == sorted(counts)
+            assert counts[-1] == 4
+            assert all(total == 4 for call_label, _, total in calls)
+
+    def test_streaming_failures_name_the_chunk(self):
+        class _Exploding:
+            def run(self, seed):
+                raise ValueError("boom")
+
+        with pytest.raises(SweepError, match="streaming chunk 0.*boom"):
+            run_sweep({"bad": _Exploding()}, runs=2, seed=0, workers=1, streaming=True)
+
+    def test_checkpoint_requires_streaming(self, tmp_path):
+        with pytest.raises(SweepError, match="streaming"):
+            run_sweep(SCENARIOS, runs=2, seed=0, workers=1, checkpoint=tmp_path)
+
+
+class TestCheckpointFile:
+    def test_fingerprint_covers_every_identity_component(self):
+        base = checkpoint_fingerprint(SCENARIOS, 4, 0, ElectionAggregate)
+        assert base == checkpoint_fingerprint(SCENARIOS, 4, 0, ElectionAggregate)
+        assert base != checkpoint_fingerprint(SCENARIOS, 5, 0, ElectionAggregate)
+        assert base != checkpoint_fingerprint(SCENARIOS, 4, 1, ElectionAggregate)
+        assert base != checkpoint_fingerprint(
+            dict(list(SCENARIOS.items())[:1]), 4, 0, ElectionAggregate
+        )
+        assert base != checkpoint_fingerprint(SCENARIOS, 4, 0, MeasurementSet)
+
+    def _open(self, directory, *, fingerprint="f" * 64, chunk_size=2):
+        return SweepCheckpoint.open(
+            directory,
+            fingerprint=fingerprint,
+            labels=list(SCENARIOS),
+            runs=4,
+            seed=0,
+            chunk_size=chunk_size,
+            loader=ElectionAggregate.from_state,
+        )
+
+    def test_resume_restores_recorded_chunks_and_chunk_size(self, tmp_path):
+        with self._open(tmp_path) as checkpoint:
+            assert checkpoint.completed == {}
+            partial = ElectionAggregate("escape-small")
+            checkpoint.record(0, {"escape-small": partial})
+        # A different requested chunk size loses to the recorded one, so a
+        # resume under another --workers count cannot shift the partition.
+        with self._open(tmp_path, chunk_size=9) as resumed:
+            assert resumed.chunk_size == 2
+            assert set(resumed.completed) == {0}
+            assert resumed.completed[0]["escape-small"] == partial
+
+    def test_torn_trailing_line_is_trimmed(self, tmp_path):
+        with self._open(tmp_path) as checkpoint:
+            checkpoint.record(0, {"escape-small": ElectionAggregate("escape-small")})
+            path = checkpoint.path
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"chunk": 1, "partials": {"esc')  # kill mid-append
+        with self._open(tmp_path) as resumed:
+            assert set(resumed.completed) == {0}
+        assert path.read_text().endswith("\n")  # clean line boundary again
+
+    def test_mismatched_checkpoint_is_discarded(self, tmp_path):
+        with self._open(tmp_path, fingerprint="a" * 64) as checkpoint:
+            checkpoint.record(0, {"escape-small": ElectionAggregate("escape-small")})
+        # Same directory, same file name prefix length -- different sweep.
+        with SweepCheckpoint.open(
+            tmp_path,
+            fingerprint="a" * 64,
+            labels=["other-label"],
+            runs=4,
+            seed=0,
+            chunk_size=2,
+            loader=ElectionAggregate.from_state,
+        ) as fresh:
+            assert fresh.completed == {}
+
+    def test_aggregates_without_to_state_are_rejected(self, tmp_path):
+        with self._open(tmp_path) as checkpoint:
+            with pytest.raises(SweepError, match="to_state"):
+                checkpoint.record(0, {"escape-small": object()})
+
+
+class TestKillAndResume:
+    def _checkpoint_file(self, directory):
+        files = list(directory.glob("sweep-*.jsonl"))
+        assert len(files) == 1
+        return files[0]
+
+    @pytest.mark.parametrize("keep_chunks", [0, 1, 3])
+    @pytest.mark.parametrize("resume_workers", [1, 2])
+    def test_resume_after_kill_is_byte_identical(
+        self, tmp_path, keep_chunks, resume_workers
+    ):
+        baseline = run_sweep(SCENARIOS, runs=8, seed=5, workers=1, streaming=True)
+
+        first_dir = tmp_path / "first"
+        run_sweep(
+            SCENARIOS, runs=8, seed=5, workers=1, streaming=True,
+            checkpoint=first_dir,
+        )
+        path = self._checkpoint_file(first_dir)
+        lines = path.read_text().splitlines(keepends=True)
+        assert len(lines) > keep_chunks + 1  # header + enough chunks recorded
+
+        # Simulate a kill: keep the header + a prefix of chunk lines, plus a
+        # torn half-line from the append that was in flight.
+        killed = lines[: 1 + keep_chunks] + ['{"chunk": 99, "par']
+        path.write_text("".join(killed))
+
+        resumed = run_sweep(
+            SCENARIOS, runs=8, seed=5, workers=resume_workers, streaming=True,
+            checkpoint=first_dir,
+        )
+        assert _state_bytes(resumed) == _state_bytes(baseline)
+
+    def test_completed_checkpoint_resumes_without_rerunning_any_chunk(
+        self, tmp_path, monkeypatch
+    ):
+        run_sweep(
+            SCENARIOS, runs=8, seed=5, workers=1, streaming=True,
+            checkpoint=tmp_path,
+        )
+        baseline = self._checkpoint_file(tmp_path).read_text()
+
+        # Every chunk is already on disk, so no scenario may run again.
+        def _refuse(self, seed):
+            raise AssertionError("resume re-ran an already-checkpointed episode")
+
+        monkeypatch.setattr(ElectionScenario, "run", _refuse)
+        resumed = run_sweep(
+            SCENARIOS, runs=8, seed=5, workers=1, streaming=True,
+            checkpoint=tmp_path,
+        )
+        assert set(resumed) == set(SCENARIOS)
+        assert self._checkpoint_file(tmp_path).read_text() == baseline

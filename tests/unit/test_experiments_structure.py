@@ -335,6 +335,7 @@ class TestCli:
     def test_protocol_capable_experiments_exist(self):
         assert {
             "fig9",
+            "fig9-xl",
             "fig10",
             "fig11",
             "wan",
@@ -350,3 +351,35 @@ class TestCli:
         assert exp_wan.PROTOCOLS == protocol_registry.PAPER_PROTOCOLS
         assert exp_availability.PROTOCOLS == protocol_registry.PAPER_PROTOCOLS
         assert "escape-noppf" in ablation_ppf.PROTOCOLS
+
+    def test_streaming_capable_experiments_exist(self):
+        assert registry.supporting("streaming") == ("fig9-xl",)
+
+    def test_streaming_option_is_tri_state(self):
+        # None = spec default, True/False = explicit override; the tri-state
+        # lets the CLI distinguish "unspecified" from --no-streaming.
+        parser = build_parser()
+        assert parser.parse_args(["fig9-xl"]).streaming is None
+        assert parser.parse_args(["fig9-xl", "--streaming"]).streaming is True
+        assert parser.parse_args(["fig9-xl", "--no-streaming"]).streaming is False
+
+    def test_checkpoint_option_takes_a_directory(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig9-xl", "--checkpoint", "ckpts"])
+        assert args.checkpoint == "ckpts"
+        assert parser.parse_args(["fig9-xl"]).checkpoint is None
+
+    def test_checkpoint_with_no_streaming_is_rejected_by_the_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig9-xl", "--checkpoint", "ckpts", "--no-streaming"])
+        assert "checkpoint" in capsys.readouterr().err.lower()
+
+    def test_streaming_rejected_for_unsupporting_experiments(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="streaming"):
+            registry.run_experiment("fig3", runs=1, streaming=True)
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            registry.run_experiment("fig9-xl", runs=1, streaming=False, checkpoint="x")
