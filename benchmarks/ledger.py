@@ -137,7 +137,61 @@ def record_core(reps: int, quick: bool) -> dict:
             )
         )
         print(f"  size={size:>4} speedup {speedup:18.2f}x", flush=True)
+    entries.extend(_record_obs_overhead(reps, quick))
     return _ledger("core", quick, reps, entries)
+
+
+def _record_obs_overhead(reps: int, quick: bool) -> list[dict]:
+    """Telemetry cost on a fig9 slice: episodes/sec with telemetry off vs on.
+
+    The off/on scenarios are interleaved inside every repetition (same
+    methodology as the engine comparison) and the ratio entry pins the
+    contract that the *disabled* path is free: telemetry-off episodes must
+    not regress against the committed baseline, and the on/off ratio
+    documents what opting in costs (harvest + live node listener).
+    """
+    from repro.cluster.scenarios import ElectionScenario
+
+    size = 8 if quick else 16
+    episodes = _episodes_for(size, quick)
+    entries: list[dict] = []
+    for engine in ENGINES:
+        base = ElectionScenario(
+            protocol="escape", cluster_size=size
+        ).with_engine(engine)
+        variants = {"off": base, "on": base.with_telemetry()}
+        rates: dict[str, list[float]] = {variant: [] for variant in variants}
+        for _ in range(reps):
+            for variant, scenario in variants.items():
+                rates[variant].append(_measure_rate(scenario, episodes))
+        best = {variant: _second_highest(rates[variant]) for variant in variants}
+        for variant in variants:
+            entries.append(
+                _entry(
+                    f"obs-overhead/size={size}/engine={engine}/telemetry={variant}",
+                    "episodes_per_s",
+                    best[variant],
+                    "1/s",
+                    higher_is_better=True,
+                )
+            )
+        ratio = best["on"] / best["off"]
+        entries.append(
+            _entry(
+                f"obs-overhead/size={size}/engine={engine}/ratio",
+                "telemetry_on_over_off",
+                ratio,
+                "x",
+                higher_is_better=True,
+            )
+        )
+        print(
+            f"  obs  size={size:>4} engine={engine:<7} "
+            f"off {best['off']:8.2f}  on {best['on']:8.2f} episodes/s "
+            f"({ratio:.2f}x)",
+            flush=True,
+        )
+    return entries
 
 
 def record_experiments(reps: int, quick: bool) -> dict:
@@ -149,11 +203,13 @@ def record_experiments(reps: int, quick: bool) -> dict:
     for name in registry.names():
         for engine in ENGINES:
             elapsed: list[float] = []
+            profiles: list[dict] = []
             for _ in range(max(1, reps // 3)):
                 run = registry.run_experiment(
                     name, runs=runs, seed=0, quick=True, workers=1, engine=engine
                 )
                 elapsed.append(run.elapsed_s)
+                profiles.append(dict(run.profile))
             best = min(elapsed)
             entries.append(
                 _entry(
@@ -164,6 +220,24 @@ def record_experiments(reps: int, quick: bool) -> dict:
                     higher_is_better=False,
                 )
             )
+            # The envelope's phase profile rides along: where did the best
+            # repetition's wall time go (parameter build, the sweep itself,
+            # report rendering)?  Sub-millisecond phases sit below timer
+            # noise and would make the relative regression gate flap, so
+            # they are left out.
+            best_profile = profiles[elapsed.index(best)]
+            for phase, seconds in best_profile.items():
+                if seconds < 0.001:
+                    continue
+                entries.append(
+                    _entry(
+                        f"experiment/{name}/engine={engine}/phase={phase}",
+                        "quick_wall_s",
+                        seconds,
+                        "s",
+                        higher_is_better=False,
+                    )
+                )
             print(f"  {name:<14} engine={engine:<7} {best:8.3f} s", flush=True)
     entries.extend(_record_sweep_entries(quick))
     return _ledger("experiments", quick, reps, entries)

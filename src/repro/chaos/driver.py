@@ -63,11 +63,17 @@ class ChaosDriver:
         plan: ChaosPlan,
         observer: AvailabilityObserver | None = None,
         preserve_quorum: bool = True,
+        metrics=None,
     ) -> None:
         self._cluster = cluster
         self._plan = plan
         self._observer = observer
         self._preserve_quorum = preserve_quorum
+        # Optional live repro.obs MetricsRegistry: when attached, applied and
+        # skipped injections bump chaos.* counters as they fire.  Post-hoc
+        # harvesting (repro.obs.harvest.harvest_chaos) reads the record lists
+        # instead, so the default None costs nothing.
+        self._metrics = metrics
         # The injector the cluster entered the chaos run with; SwapFault
         # events with fault=None restore it (NOT a healthy network -- the
         # scenario may layer the plan over a lossy baseline condition).
@@ -231,10 +237,16 @@ class ChaosDriver:
 
     def _record(self, time_ms: Milliseconds, kind: str, detail: str) -> None:
         self.applied.append(DisruptionRecord(time_ms, kind, detail))
+        if self._metrics is not None:
+            self._metrics.counter("chaos.applied").inc()
+            self._metrics.counter(f"chaos.applied.{kind}").inc()
 
     def _skip(self, time_ms: Milliseconds, kind: str, detail: str) -> None:
         self._cluster.world.trace("chaos.skip", kind=kind, detail=detail)
         self.skipped.append(DisruptionRecord(time_ms, kind, detail))
+        if self._metrics is not None:
+            self._metrics.counter("chaos.skipped").inc()
+            self._metrics.counter(f"chaos.skipped.{kind}").inc()
 
     @staticmethod
     def _contiguous_groups(

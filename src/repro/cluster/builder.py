@@ -118,6 +118,17 @@ class SimulatedCluster:
         """Nodes that are currently running (not crashed)."""
         return [node for node in self.nodes.values() if node.is_running]
 
+    def harvest_telemetry(self, metrics) -> None:
+        """Fold this cluster's scheduler/network counters into a
+        :class:`repro.obs.telemetry.MetricsRegistry`.
+
+        Imported lazily: the cluster layer must stay importable without the
+        observability layer (repro.obs depends on sim/net, not vice versa).
+        """
+        from repro.obs.harvest import harvest_cluster
+
+        harvest_cluster(self, metrics)
+
     @property
     def crashed(self) -> frozenset[ServerId]:
         """Servers currently crashed."""

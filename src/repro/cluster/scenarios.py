@@ -24,6 +24,8 @@ from repro.common.rng import SeedSequence, paired_seeds
 from repro.common.types import Milliseconds, ServerId
 from repro.metrics.records import ElectionMeasurement
 from repro.net.faults import BroadcastOmissionFault, FaultInjector, NoFault
+from repro.obs.harvest import TelemetryListener, harvest_cluster
+from repro.obs.telemetry import MetricsRegistry
 from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.specs import FaultSpec, LatencySpec
 from repro.raft.timers import (
@@ -71,6 +73,10 @@ class ElectionScenario:
         stabilize_ms: budget for electing the initial leader.
         max_election_ms: budget for the measured election.
         trace: keep the world trace (disable for large sweeps).
+        telemetry: record per-episode observability counters (scheduler,
+            network, protocol events) and attach the snapshot state to
+            ``measurement.extra["telemetry"]``.  Off by default: sweeps pay
+            nothing for the instrumentation unless they opt in.
         engine: simulation engine name from :mod:`repro.sim.engines`
             (e.g. ``"classic"``, ``"flat"``); the empty string defers to the
             process default (:func:`repro.sim.engines.default_engine_name`),
@@ -94,6 +100,7 @@ class ElectionScenario:
     stabilize_ms: Milliseconds = 120_000.0
     max_election_ms: Milliseconds = 120_000.0
     trace: bool = False
+    telemetry: bool = False
     engine: str = ""
 
     def __post_init__(self) -> None:
@@ -151,6 +158,10 @@ class ElectionScenario:
         testing and benchmarking; results are engine-invariant by contract)."""
         return replace(self, engine=engine)
 
+    def with_telemetry(self, enabled: bool = True) -> "ElectionScenario":
+        """The same condition with per-episode telemetry recording toggled."""
+        return replace(self, telemetry=enabled)
+
     # ------------------------------------------------------------------ #
     # Running
     # ------------------------------------------------------------------ #
@@ -191,9 +202,45 @@ class ElectionScenario:
 
         The measurement's ``extra`` mapping records the scenario parameters so
         downstream reports can re-group measurements without carrying the
-        scenario object around.
+        scenario object around.  With ``telemetry=True`` it additionally
+        carries the episode's observability snapshot under ``"telemetry"``
+        (as plain JSON state, so measurements keep pickling and exporting
+        unchanged).
         """
-        cluster, harness = self.build(seed)
+        measurement, _ = self._run_measured(seed)
+        return measurement
+
+    def run_traced(self, seed: int) -> tuple[ElectionMeasurement, tuple]:
+        """Run one episode with tracing forced on; returns the trace too.
+
+        The measurement is identical to :meth:`run`'s for the same seed
+        (tracing never perturbs results); the second element is the world's
+        :class:`~repro.sim.tracing.TraceRecord` tuple, ready for
+        :mod:`repro.obs.trace` sinks.
+        """
+        traced = self if self.trace else replace(self, trace=True)
+        measurement, cluster = traced._run_measured(seed)
+        return measurement, cluster.world.tracer.records
+
+    def _run_measured(
+        self, seed: int
+    ) -> tuple[ElectionMeasurement, SimulatedCluster]:
+        """Run one episode, attaching telemetry when the scenario opts in."""
+        if not self.telemetry:
+            return self._run_episode(seed)
+        registry = MetricsRegistry()
+        listener = TelemetryListener(registry)
+        measurement, cluster = self._run_episode(
+            seed, extra_listeners=(listener,)
+        )
+        harvest_cluster(cluster, registry)
+        measurement.extra["telemetry"] = registry.snapshot().to_state()
+        return measurement, cluster
+
+    def _run_episode(
+        self, seed: int, extra_listeners: tuple = ()
+    ) -> tuple[ElectionMeasurement, SimulatedCluster]:
+        cluster, harness = self.build(seed, extra_listeners=extra_listeners)
         cluster.start_all()
         harness.stabilize(max_time_ms=self.stabilize_ms)
 
@@ -232,7 +279,7 @@ class ElectionScenario:
             measurement.extra["latency_spec"] = repr(self.latency)
         if self.fault is not None:
             measurement.extra["fault_spec"] = repr(self.fault)
-        return measurement
+        return measurement, cluster
 
     def run_many(
         self, runs: int, base_seed: int = 0, label: str = "run"

@@ -38,6 +38,12 @@ chunks persist to a JSON-lines file in DIR and a re-run of the same command
 continues bit-identically where the killed one stopped.
 ``--output DIR`` saves every experiment's raw measurements (CSV), a lossless
 JSON export with the run metadata, and the rendered report.
+``--trace-out DIR`` makes trace-capable experiments archive one traced
+episode per scenario label (JSONL + manifest + telemetry snapshots; see
+:mod:`repro.obs.trace`).  ``--heartbeat FILE`` keeps a machine-readable
+progress heartbeat up to date during the sweep and ``--ticker`` adds a
+self-overwriting stderr progress line (per-label completion, episodes/sec,
+ETA) -- both come from :class:`repro.obs.progress.ProgressReporter`.
 
 Every experiment prints the same rows/series the corresponding paper figure
 plots; see EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -56,6 +62,8 @@ from repro.common.errors import ConfigurationError
 from repro.experiments import registry
 from repro.experiments.base import print_progress
 from repro.experiments.export import save_run
+from repro.obs.profiling import Profiler
+from repro.obs.progress import ProgressReporter
 from repro.sim import engines as engine_registry
 
 
@@ -198,6 +206,33 @@ def build_parser() -> argparse.ArgumentParser:
             "into DIR"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        dest="trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "archive one traced episode per scenario label into DIR as "
+            "JSONL, with a manifest and per-label telemetry snapshots "
+            "(supported by: "
+            f"{', '.join(sorted(registry.supporting('trace')))})"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat",
+        metavar="FILE",
+        default=None,
+        help=(
+            "rewrite FILE (atomically, about once per second) with a JSON "
+            "progress heartbeat: per-label completion, episodes/sec, ETA, "
+            "worker utilization"
+        ),
+    )
+    parser.add_argument(
+        "--ticker",
+        action="store_true",
+        help="show a live single-line sweep progress ticker on stderr",
+    )
     return parser
 
 
@@ -248,6 +283,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             option_note += f", streaming={args.streaming}"
         if args.checkpoint:
             option_note += f", checkpoint={args.checkpoint}"
+        if args.trace:
+            option_note += f", trace={args.trace}"
         if args.engine:
             option_note += f", engine={args.engine}"
         runs_note = "default" if args.runs is None else args.runs
@@ -256,26 +293,46 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"workers={args.workers or 'auto'}{option_note}) ==",
             flush=True,
         )
-        run = registry.run_experiment(
-            name,
-            runs=args.runs,
-            seed=args.seed,
-            quick=args.quick,
-            workers=workers,
-            progress=None if args.quick else print_progress,
-            scenario=args.scenario,
-            protocols=args.protocols,
-            plan=args.plan,
-            streaming=args.streaming,
-            checkpoint=args.checkpoint,
-            engine=args.engine,
-        )
+        # A ProgressReporter doubles as the plain progress callback; it is
+        # built per experiment so each run's totals and ETA start fresh.
+        reporter: ProgressReporter | None = None
+        if args.heartbeat is not None or args.ticker:
+            reporter = ProgressReporter(
+                heartbeat_path=args.heartbeat, ticker=args.ticker
+            )
+        progress = reporter
+        if progress is None:
+            progress = None if args.quick else print_progress
+        try:
+            run = registry.run_experiment(
+                name,
+                runs=args.runs,
+                seed=args.seed,
+                quick=args.quick,
+                workers=workers,
+                progress=progress,
+                scenario=args.scenario,
+                protocols=args.protocols,
+                plan=args.plan,
+                streaming=args.streaming,
+                checkpoint=args.checkpoint,
+                trace=args.trace,
+                engine=args.engine,
+            )
+        finally:
+            if reporter is not None:
+                reporter.finish()
         for note in run.notes:
             print(f"   note: {note}", flush=True)
         print(run.report)
         if output_dir is not None:
-            paths = save_run(run, output_dir)
-            print(f"   saved: {paths['csv']}, {paths['json']}, {paths['report']}")
+            profiler = Profiler()
+            with profiler.phase("export"):
+                paths = save_run(run, output_dir)
+            print(
+                f"   saved: {paths['csv']}, {paths['json']}, {paths['report']} "
+                f"({profiler.elapsed('export'):.2f} s)"
+            )
         print(f"-- completed in {run.elapsed_s:.1f} s\n", flush=True)
     return 0
 

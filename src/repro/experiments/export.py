@@ -490,8 +490,14 @@ def save_run(run: "ExperimentRun", directory: str | Path) -> dict[str, Path]:
 
     * ``<name>.csv`` -- the raw measurements (or aggregate rows) flattened;
     * ``<name>.json`` -- a lossless export plus the run's metadata
-      (seed, runs, workers, resolved parameters, notes);
+      (seed, runs, workers, resolved parameters, notes, and the wall-clock
+      phase profile from :class:`repro.obs.profiling.Profiler`);
     * ``<name>.report.txt`` -- the rendered report the CLI printed.
+
+    Measurement ``extra`` payloads -- including the telemetry snapshot state
+    a ``telemetry=True`` scenario attaches -- ride the JSON export verbatim
+    and are restored by :func:`load_run` (arrays come back as tuples, which
+    :meth:`repro.obs.telemetry.TelemetrySnapshot.from_state` accepts).
 
     Returns:
         Mapping of ``{"csv": ..., "json": ..., "report": ...}`` paths.

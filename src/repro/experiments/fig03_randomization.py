@@ -21,6 +21,7 @@ from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.stats import cumulative_distribution, fraction_at_or_below, summarize
 from repro.metrics.tables import render_table
+from repro.obs.trace import archive_election_traces
 
 #: The six timeout ranges swept by the paper.
 PAPER_TIMEOUT_RANGES: tuple[tuple[Milliseconds, Milliseconds], ...] = (
@@ -83,12 +84,20 @@ def run(
     cluster_size: int = CLUSTER_SIZE,
     progress: ProgressCallback | None = None,
     workers: int | None = 1,
+    trace: str | None = None,
 ) -> RandomizationResult:
-    """Execute the Figure 3 sweep (optionally fanned out over *workers*)."""
+    """Execute the Figure 3 sweep (optionally fanned out over *workers*).
+
+    With *trace* set to a directory, one traced episode per timeout range is
+    re-run afterwards and archived there as JSONL (plus telemetry snapshots);
+    see :func:`repro.obs.trace.archive_election_traces`.
+    """
     scenarios = build_scenarios(timeout_ranges, cluster_size)
     by_range = run_scenario_set(
         scenarios, runs=runs, seed=seed, progress=progress, workers=workers
     )
+    if trace is not None:
+        archive_election_traces(scenarios, seed, trace)
     return RandomizationResult(
         timeout_ranges=tuple(timeout_ranges), runs=runs, by_range=by_range
     )
@@ -150,6 +159,7 @@ SPEC = register(
             "timeout_ranges": PAPER_TIMEOUT_RANGES,
             "cluster_size": CLUSTER_SIZE,
         },
+        supports_trace=True,
         exporter=ExporterBinding(kind="election", extract=_export_measurements),
     )
 )

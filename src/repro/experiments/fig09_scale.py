@@ -22,6 +22,7 @@ from repro.experiments.spec import ExperimentSpec, ExporterBinding
 from repro.metrics.records import MeasurementSet
 from repro.metrics.stats import cumulative_distribution, reduction_percent, summarize
 from repro.metrics.tables import render_table
+from repro.obs.trace import archive_election_traces
 
 #: Cluster sizes evaluated by the paper.
 PAPER_SIZES: tuple[int, ...] = (8, 16, 32, 64, 128)
@@ -84,12 +85,20 @@ def run(
     protocols: Sequence[str] = PROTOCOLS,
     progress: ProgressCallback | None = None,
     workers: int | None = 1,
+    trace: str | None = None,
 ) -> ScaleResult:
-    """Execute the Figure 9 sweep (optionally fanned out over *workers*)."""
+    """Execute the Figure 9 sweep (optionally fanned out over *workers*).
+
+    With *trace* set to a directory, one traced episode per (protocol, size)
+    cell is re-run afterwards and archived there as JSONL (plus telemetry
+    snapshots); see :func:`repro.obs.trace.archive_election_traces`.
+    """
     scenarios = build_scenarios(sizes, protocols)
     by_label = run_scenario_set(
         scenarios, runs=runs, seed=seed, progress=progress, workers=workers
     )
+    if trace is not None:
+        archive_election_traces(scenarios, seed, trace)
     return ScaleResult(
         sizes=tuple(sizes),
         runs=runs,
@@ -162,6 +171,7 @@ SPEC = register(
         params={"sizes": PAPER_SIZES},
         quick_params={"sizes": (8, 16, 32)},
         supports_protocols=True,
+        supports_trace=True,
         exporter=ExporterBinding(kind="election", extract=_export_measurements),
     )
 )

@@ -26,11 +26,11 @@ and wraps everything in a picklable
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from repro import protocols as protocol_registry
 from repro.common.errors import ConfigurationError
+from repro.obs.profiling import Profiler
 from repro.sim import engines as engine_registry
 from repro.experiments.spec import (
     CAPABILITIES,
@@ -207,6 +207,7 @@ def run_experiment(
     plan: str | None = None,
     streaming: bool | None = None,
     checkpoint: str | None = None,
+    trace: str | None = None,
     engine: str | None = None,
     **param_overrides: object,
 ) -> ExperimentRun:
@@ -232,6 +233,9 @@ def run_experiment(
         checkpoint: directory for the streaming path's JSON-lines chunk
             checkpoint (implies ``streaming=True``); a killed run re-invoked
             with the same checkpoint resumes bit-identically.
+        trace: directory into which trace-capable experiments archive one
+            traced episode per scenario label (JSONL + manifest + telemetry
+            snapshots; see :func:`repro.obs.trace.archive_election_traces`).
         engine: simulation engine name from :mod:`repro.sim.engines`
             (``None`` keeps the process default).  Engines are bit-identical
             by contract, so this changes wall-clock time only; the resolved
@@ -258,6 +262,7 @@ def run_experiment(
         ("protocols", protocols),
         ("plan", plan),
         ("streaming", streaming),
+        ("trace", trace),
     ):
         if value is not None and not getattr(spec, f"supports_{option}"):
             raise ConfigurationError(
@@ -266,6 +271,7 @@ def run_experiment(
     if protocols is not None:
         protocols = validate_sweep_protocols(tuple(protocols))
 
+    profiler = Profiler()
     notes: list[str] = []
     resolved_runs = spec.default_runs if runs is None else runs
     if spec.min_runs is not None and resolved_runs < spec.min_runs:
@@ -280,7 +286,8 @@ def run_experiment(
             "pay start-up cost)"
         )
 
-    params = spec.resolved_params(quick=quick, **param_overrides)
+    with profiler.phase("build"):
+        params = spec.resolved_params(quick=quick, **param_overrides)
     call_kwargs: dict[str, object] = dict(params, runs=resolved_runs, seed=seed)
     if spec.supports_workers:
         call_kwargs["progress"] = progress
@@ -295,13 +302,19 @@ def run_experiment(
         call_kwargs["streaming"] = streaming
     if checkpoint is not None:
         call_kwargs["checkpoint"] = checkpoint
+    if trace is not None:
+        call_kwargs["trace"] = trace
 
-    # elapsed_s is run *metadata* (how long the sweep took on this machine),
-    # never an input to the simulation, so the wall clock is legitimate here.
-    started = time.perf_counter()  # repro: allow[D1]
-    with engine_registry.using_engine(engine) as resolved_engine:
-        result = spec.run(**call_kwargs)
-    elapsed_s = time.perf_counter() - started  # repro: allow[D1]
+    # Phase timings are run *metadata* (how long each stage took on this
+    # machine), never an input to the simulation; the Profiler lives in the
+    # wall-clock-allowlisted repro.obs.profiling module.  elapsed_s keeps its
+    # historical meaning: the sweep itself, excluding report rendering.
+    with profiler.phase("sweep"):
+        with engine_registry.using_engine(engine) as resolved_engine:
+            result = spec.run(**call_kwargs)
+    with profiler.phase("report"):
+        report = spec.reporter(result)
+    elapsed_s = profiler.elapsed("sweep")
 
     # Recorded provenance: the declared defaults, with any parameter a
     # supplied capability value supersedes dropped (the archived metadata
@@ -313,6 +326,7 @@ def run_experiment(
         ("protocols", protocols),
         ("plan", plan),
         ("streaming", streaming),
+        ("trace", trace),
     ):
         if value is not None:
             superseded = spec.capability_overrides.get(option)
@@ -325,7 +339,7 @@ def run_experiment(
         name=name,
         title=spec.title,
         result=result,
-        report=spec.reporter(result),
+        report=report,
         runs=resolved_runs,
         seed=seed,
         quick=quick,
@@ -334,6 +348,7 @@ def run_experiment(
         parameters=parameters,
         notes=tuple(notes),
         engine=resolved_engine,
+        profile=profiler.snapshot(),
     )
 
 

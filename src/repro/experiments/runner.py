@@ -509,6 +509,12 @@ def run_sweep(
         contents for every worker count.
     """
     workers = resolve_workers(workers)
+    # Rich reporters (repro.obs.progress.ProgressReporter) learn the full
+    # work plan up front through an optional duck-typed hook; plain callbacks
+    # keep working untouched.
+    sweep_begin = getattr(progress, "sweep_begin", None)
+    if sweep_begin is not None:
+        sweep_begin(tuple(scenarios), runs, workers)
     if streaming:
         return _run_sweep_streaming(
             scenarios, runs, seed, progress, workers, aggregate_factory, checkpoint
@@ -592,6 +598,20 @@ def _run_sweep_streaming(
 
     try:
         restored = ckpt.completed if ckpt is not None else {}
+        # Resume-aware reporters get told how much of the work is being
+        # replayed from the checkpoint (those episodes complete instantly and
+        # must not count toward the episodes/sec rate or the ETA).
+        mark_resumed = getattr(progress, "mark_resumed", None)
+        if mark_resumed is not None and restored:
+            resumed_counts: dict[str, int] = {}
+            for partials in restored.values():
+                for label, partial in partials.items():
+                    resumed_counts[label] = resumed_counts.get(label, 0) + len(
+                        partial
+                    )
+            for label in scenarios:
+                if label in resumed_counts:
+                    mark_resumed(label, resumed_counts[label])
         for chunk_id in sorted(restored):
             accounting.record_chunk(chunk_id, restored[chunk_id])
         pending = [chunk for chunk in chunks if chunk.chunk_id not in restored]

@@ -44,7 +44,10 @@ Reporter = Callable[[object], str]
 #: The sweep-wide options an experiment can opt into, in CLI order.
 #: ``streaming`` selects the sweep engine's memory-bounded data path
 #: (worker-side aggregation, O(labels) parent memory, checkpointable).
-CAPABILITIES = ("scenario", "protocols", "plan", "streaming")
+#: ``trace`` accepts a directory (CLI ``--trace-out``) into which the
+#: experiment archives one traced episode per scenario label as JSONL (see
+#: :func:`repro.obs.trace.archive_election_traces`).
+CAPABILITIES = ("scenario", "protocols", "plan", "streaming", "trace")
 
 #: How an exporter binding's extracted payload is persisted:
 #: ``"election"`` -- a mapping of label -> :class:`~repro.metrics.records.MeasurementSet`;
@@ -105,6 +108,10 @@ class ExperimentSpec:
             sweep on the streaming engine -- worker-side mergeable
             aggregates, O(labels) parent memory, resumable from a
             JSON-lines checkpoint (see :mod:`repro.experiments.runner`).
+        supports_trace: understands the ``trace_out`` keyword (CLI
+            ``--trace-out DIR``): after the sweep the experiment archives
+            one traced episode per label as JSONL plus a manifest and
+            telemetry snapshots (see :mod:`repro.obs.trace`).
         supports_workers: whether *run* takes the sweep engine's
             ``progress``/``workers`` keywords; ``False`` for in-process
             models that would only pay pool start-up (the CLI notes that
@@ -135,6 +142,7 @@ class ExperimentSpec:
     supports_protocols: bool = False
     supports_plan: bool = False
     supports_streaming: bool = False
+    supports_trace: bool = False
     supports_workers: bool = True
     min_runs: int | None = None
     capability_overrides: Mapping[str, str] = field(default_factory=FrozenDict)
@@ -247,9 +255,14 @@ class ExperimentRun:
     #: bit-identical by contract, so this is provenance for the *timing*
     #: metadata, never for the results).
     engine: str = "classic"
+    #: Wall-clock seconds per pipeline phase (``build``/``sweep``/``report``)
+    #: recorded by :class:`repro.obs.profiling.Profiler`; timing metadata
+    #: only, like ``elapsed_s`` (which equals the ``sweep`` phase).
+    profile: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parameters", dict(self.parameters))
+        object.__setattr__(self, "profile", dict(self.profile))
 
     def metadata(self) -> dict[str, object]:
         """The run's metadata as one JSON-friendly dict (export headers)."""
@@ -262,6 +275,10 @@ class ExperimentRun:
             "workers": self.workers,
             "engine": self.engine,
             "elapsed_s": round(self.elapsed_s, 3),
+            "profile": {
+                phase: round(seconds, 3)
+                for phase, seconds in self.profile.items()
+            },
             "parameters": {
                 key: value for key, value in sorted(self.parameters.items())
             },

@@ -85,11 +85,17 @@ class LintConfig:
     """
 
     #: D1/D4 -- module prefixes allowed to read the wall clock and wait on
-    #: it: the asyncio runtime layer is wall-clock by design, and the Redis
-    #: adapter models a live deployment.
+    #: it: the asyncio runtime layer is wall-clock by design, the Redis
+    #: adapter models a live deployment, and the observability layer's
+    #: progress/profiling modules report wall-clock rates and phase timings
+    #: by definition.  Deliberately *files*, not the whole ``repro/obs/``
+    #: package: telemetry and trace modules measure simulated facts and stay
+    #: under the full determinism rules.
     wall_clock_allowed: tuple[str, ...] = (
         "repro/runtime/",
         "repro/adapters/",
+        "repro/obs/profiling.py",
+        "repro/obs/progress.py",
     )
     #: D2 -- modules allowed to construct ``random.Random`` directly (the
     #: derivation helpers themselves live here).

@@ -327,6 +327,7 @@ class FlatNetwork(SimulatedNetwork):
         src, dst, payload = item
         if dst in self._disconnected:
             self._stats.dropped_disconnected += 1
+            self._stats.dropped_in_flight += 1
             self._world.trace(
                 "net.drop", node=src, dst=dst, reason="disconnected", in_flight=True
             )
@@ -334,6 +335,7 @@ class FlatNetwork(SimulatedNetwork):
         cells = self._cells
         if cells and cells[src] != cells[dst]:
             self._stats.dropped_by_partition += 1
+            self._stats.dropped_in_flight += 1
             self._world.trace(
                 "net.drop", node=src, dst=dst, reason="partition", in_flight=True
             )

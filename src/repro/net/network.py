@@ -47,6 +47,11 @@ class NetworkStats:
     dropped_by_fault: int = 0
     dropped_by_partition: int = 0
     dropped_disconnected: int = 0
+    # How many of the partition/disconnected drops happened at *delivery*
+    # time (the destination crashed or was cut off while the message was on
+    # the wire).  A sub-category annotation, not a new drop reason: in-flight
+    # drops are already counted above, so ``dropped`` must not add this in.
+    dropped_in_flight: int = 0
     duplicated: int = 0
     broadcast_count: int = 0
     per_type_sent: dict[str, int] = field(default_factory=dict)
@@ -262,6 +267,7 @@ class SimulatedNetwork:
             # matching a process kill on a real network (packets on the wire
             # are not recalled).
             self.stats.dropped_disconnected += 1
+            self.stats.dropped_in_flight += 1
             self._world.trace(
                 "net.drop",
                 node=envelope.src,
@@ -272,6 +278,7 @@ class SimulatedNetwork:
             return
         if not self._partitions.can_communicate(envelope.src, dst):
             self.stats.dropped_by_partition += 1
+            self.stats.dropped_in_flight += 1
             self._world.trace(
                 "net.drop",
                 node=envelope.src,

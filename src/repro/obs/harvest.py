@@ -1,0 +1,143 @@
+"""Folding simulator-layer counters into a :class:`MetricsRegistry`.
+
+The scheduler, the network engines and the chaos driver already keep cheap
+internal counters on their hot paths; rather than threading a metrics handle
+through every event (which would tax the telemetry-disabled case), these
+helpers *harvest* those counters into a registry after a run.  Only protocol
+node events need a live listener (:class:`TelemetryListener`), and it is
+attached only when a scenario opts into telemetry.
+
+Metric names are dotted and stable -- they are part of the snapshot contract
+pinned by the engine/worker parity tests:
+
+========================  =====================================================
+``sim.events.*``          scheduled / executed / cancelled counts, pending gauge
+``sim.heap.*``            compactions counter, size gauge
+``net.*``                 sent / delivered / duplicated / broadcasts counters
+``net.dropped.*``         fault / partition / disconnected / in_flight counters
+``net.sent.<MsgType>``    per-message-type send counters
+``chaos.applied[.kind]``  applied disruptions, total and per kind
+``chaos.skipped[.kind]``  quorum-guard skips, total and per kind
+``node.*``                election timeouts, campaigns, votes, wins, role
+                          changes, commits, and the attempt-number histogram
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.telemetry import MetricsRegistry
+from repro.raft.listeners import NodeListenerBase
+from repro.raft.state import Role
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids layer cycles
+    from repro.chaos.driver import ChaosDriver
+
+__all__ = [
+    "TelemetryListener",
+    "harvest_chaos",
+    "harvest_cluster",
+    "harvest_network",
+    "harvest_scheduler",
+]
+
+#: Bucket bounds for the election-timeout attempt histogram: attempts are
+#: small integers, so one bucket per attempt up to 8, then overflow.
+ATTEMPT_BOUNDS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+
+
+def harvest_scheduler(scheduler, metrics: MetricsRegistry) -> None:
+    """Fold a scheduler's event/heap counters into *metrics*.
+
+    Works for both the classic :class:`~repro.sim.scheduler.EventScheduler`
+    and the :class:`~repro.sim.flatcore.FlatEventScheduler` -- the engine
+    differential contract guarantees the counts agree.
+    """
+    metrics.counter("sim.events.scheduled").inc(scheduler.scheduled_count)
+    metrics.counter("sim.events.executed").inc(scheduler.executed_count)
+    metrics.counter("sim.events.cancelled").inc(scheduler.cancelled_count)
+    metrics.counter("sim.heap.compactions").inc(scheduler.compaction_count)
+    metrics.gauge("sim.events.pending").set(scheduler.pending_count)
+    metrics.gauge("sim.heap.size").set(scheduler.heap_size)
+
+
+def harvest_network(network, metrics: MetricsRegistry) -> None:
+    """Fold a network's :class:`~repro.net.network.NetworkStats` into *metrics*."""
+    stats = network.stats
+    metrics.counter("net.sent").inc(stats.sent)
+    metrics.counter("net.delivered").inc(stats.delivered)
+    metrics.counter("net.duplicated").inc(stats.duplicated)
+    metrics.counter("net.broadcasts").inc(stats.broadcast_count)
+    metrics.counter("net.dropped.fault").inc(stats.dropped_by_fault)
+    metrics.counter("net.dropped.partition").inc(stats.dropped_by_partition)
+    metrics.counter("net.dropped.disconnected").inc(stats.dropped_disconnected)
+    metrics.counter("net.dropped.in_flight").inc(stats.dropped_in_flight)
+    for message_type in sorted(stats.per_type_sent):
+        metrics.counter(f"net.sent.{message_type}").inc(
+            stats.per_type_sent[message_type]
+        )
+
+
+def harvest_chaos(driver: "ChaosDriver", metrics: MetricsRegistry) -> None:
+    """Fold a chaos driver's applied/skipped records into *metrics*."""
+    metrics.counter("chaos.applied").inc(len(driver.applied))
+    metrics.counter("chaos.skipped").inc(len(driver.skipped))
+    for record in driver.applied:
+        metrics.counter(f"chaos.applied.{record.kind}").inc()
+    for record in driver.skipped:
+        metrics.counter(f"chaos.skipped.{record.kind}").inc()
+
+
+def harvest_cluster(cluster, metrics: MetricsRegistry) -> None:
+    """Fold a simulated cluster's scheduler and network counters into *metrics*."""
+    harvest_scheduler(cluster.world.scheduler, metrics)
+    harvest_network(cluster.network, metrics)
+
+
+class TelemetryListener(NodeListenerBase):
+    """A node listener recording protocol events into a registry.
+
+    Counter handles are resolved once at construction so each callback is a
+    single attribute bump; attach via ``ElectionScenario.build``'s
+    ``extra_listeners`` (which :meth:`ElectionScenario.run` does automatically
+    when the scenario has ``telemetry=True``).
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._timeouts = metrics.counter("node.election_timeouts")
+        self._campaigns = metrics.counter("node.campaigns")
+        self._votes = metrics.counter("node.votes_granted")
+        self._wins = metrics.counter("node.elections_won")
+        self._role_changes = metrics.counter("node.role_changes")
+        self._commits = metrics.counter("node.commits")
+        self._attempts = metrics.histogram("node.timeout_attempts", ATTEMPT_BOUNDS)
+
+    def on_role_change(
+        self, node_id: int, old_role: Role, new_role: Role, term: int, time_ms: float
+    ) -> None:
+        self._role_changes.inc()
+
+    def on_election_timeout(
+        self, node_id: int, term: int, attempt: int, time_ms: float
+    ) -> None:
+        self._timeouts.inc()
+        self._attempts.observe(attempt)
+
+    def on_election_started(self, node_id: int, term: int, time_ms: float) -> None:
+        self._campaigns.inc()
+
+    def on_vote_granted(
+        self, voter_id: int, candidate_id: int, term: int, time_ms: float
+    ) -> None:
+        self._votes.inc()
+
+    def on_leader_elected(
+        self, leader_id: int, term: int, votes: int, time_ms: float
+    ) -> None:
+        self._wins.inc()
+
+    def on_entry_committed(
+        self, node_id: int, index: int, term: int, time_ms: float
+    ) -> None:
+        self._commits.inc()

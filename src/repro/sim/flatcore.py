@@ -119,6 +119,7 @@ class FlatEventScheduler:
         self._max_events = max_events
         self._compact_min_size = compact_min_size
         self._cancelled_in_heap = 0
+        self._cancellations = 0
         self._compactions = 0
 
     @property
@@ -149,6 +150,16 @@ class FlatEventScheduler:
     def executed_count(self) -> int:
         """Total number of events executed so far."""
         return self._executed
+
+    @property
+    def scheduled_count(self) -> int:
+        """Total number of events ever scheduled (executed or not)."""
+        return self._sequence
+
+    @property
+    def cancelled_count(self) -> int:
+        """Total number of live events that were cancelled."""
+        return self._cancellations
 
     # ------------------------------------------------------------------ #
     # Scheduling -- public (handle-returning) surface
@@ -372,6 +383,7 @@ class FlatEventScheduler:
     # ------------------------------------------------------------------ #
     def _note_cancelled(self) -> None:
         """Account for a cancellation; compact when dead records dominate."""
+        self._cancellations += 1
         self._cancelled_in_heap += 1
         heap = self._heap
         if (

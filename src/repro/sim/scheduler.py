@@ -58,6 +58,7 @@ class EventScheduler:
         self._max_events = max_events
         self._compact_min_size = compact_min_size
         self._cancelled_in_heap = 0
+        self._cancellations = 0
         self._compactions = 0
 
     @property
@@ -88,6 +89,16 @@ class EventScheduler:
     def executed_count(self) -> int:
         """Total number of events executed so far."""
         return self._executed
+
+    @property
+    def scheduled_count(self) -> int:
+        """Total number of events ever scheduled (executed or not)."""
+        return self._sequence
+
+    @property
+    def cancelled_count(self) -> int:
+        """Total number of live events that were cancelled."""
+        return self._cancellations
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -214,6 +225,7 @@ class EventScheduler:
         """Account for a cancellation and compact the heap when it pays off."""
         if not event.in_heap:
             return
+        self._cancellations += 1
         self._cancelled_in_heap += 1
         if (
             len(self._heap) >= self._compact_min_size

@@ -49,6 +49,7 @@ class Tracer:
         self._enabled = enabled
         self._capacity = capacity
         self._records: list[TraceRecord] = []
+        self._dropped = 0
 
     @property
     def enabled(self) -> bool:
@@ -59,6 +60,11 @@ class Tracer:
     def records(self) -> tuple[TraceRecord, ...]:
         """All recorded events in chronological (insertion) order."""
         return tuple(self._records)
+
+    @property
+    def dropped_count(self) -> int:
+        """Records discarded because the tracer was at capacity."""
+        return self._dropped
 
     def record(
         self,
@@ -71,6 +77,7 @@ class Tracer:
         if not self._enabled:
             return
         if self._capacity is not None and len(self._records) >= self._capacity:
+            self._dropped += 1
             return
         self._records.append(
             TraceRecord(time_ms=time_ms, category=category, node=node, detail=detail)
@@ -103,13 +110,24 @@ class Tracer:
         return sum(1 for record in self._records if record.category == category)
 
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events and reset the dropped counter."""
         self._records.clear()
+        self._dropped = 0
 
     def timeline(self, limit: int | None = None) -> str:
-        """Render the trace as a multi-line human-readable timeline."""
+        """Render the trace as a multi-line human-readable timeline.
+
+        When the capacity cap discarded records, the timeline ends with a
+        summary line saying how many -- a truncated trace must never read
+        like a complete one.
+        """
         records = self._records if limit is None else self._records[:limit]
-        return "\n".join(record.describe() for record in records)
+        lines = [record.describe() for record in records]
+        if self._dropped:
+            lines.append(
+                f"... {self._dropped} record(s) dropped at capacity {self._capacity}"
+            )
+        return "\n".join(lines)
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)

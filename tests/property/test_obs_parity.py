@@ -1,0 +1,84 @@
+"""Telemetry snapshot parity: workers, engines and the merge contract.
+
+The telemetry snapshot is part of the repo's determinism claim: a
+telemetry-enabled sweep must produce *bit-identical* per-label snapshots at
+any ``--workers`` count, and the engine contract extends to every harvested
+counter -- ``classic`` and ``flat`` must agree on scheduler, network and
+node metrics, not just on measurements.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.experiments.base import run_scenario_set
+from repro.obs.telemetry import sweep_telemetry
+from repro.sim.engines import names as engine_names
+
+ENGINES = tuple(engine_names())
+
+
+def _scenarios(engine: str | None = None) -> dict[str, ElectionScenario]:
+    scenarios = {
+        "raft@3": ElectionScenario(protocol="raft", cluster_size=3, telemetry=True),
+        "escape@5": ElectionScenario(
+            protocol="escape", cluster_size=5, telemetry=True
+        ),
+    }
+    if engine is not None:
+        scenarios = {
+            label: scenario.with_engine(engine)
+            for label, scenario in scenarios.items()
+        }
+    return scenarios
+
+
+class TestWorkerParity:
+    def test_snapshots_bit_identical_at_any_worker_count(self):
+        sequential = sweep_telemetry(
+            run_scenario_set(_scenarios(), runs=4, seed=9, workers=1)
+        )
+        fanned_out = sweep_telemetry(
+            run_scenario_set(_scenarios(), runs=4, seed=9, workers=4)
+        )
+        assert set(sequential) == {"raft@3", "escape@5"}
+        assert fanned_out == sequential
+        # The snapshots carry real work, not zeros.
+        for snapshot in sequential.values():
+            assert snapshot.counters["sim.events.executed"] > 0
+            assert snapshot.counters["net.delivered"] > 0
+            assert snapshot.counters["node.elections_won"] >= 4
+
+
+class TestEngineParity:
+    def test_snapshots_bit_identical_across_engines(self):
+        baseline = sweep_telemetry(
+            run_scenario_set(_scenarios(ENGINES[0]), runs=3, seed=5, workers=1)
+        )
+        for engine in ENGINES[1:]:
+            other = sweep_telemetry(
+                run_scenario_set(_scenarios(engine), runs=3, seed=5, workers=1)
+            )
+            assert other == baseline
+
+    def test_single_episode_snapshots_agree_across_engines(self):
+        scenario = ElectionScenario(
+            protocol="escape", cluster_size=5, loss_rate=0.1, telemetry=True
+        )
+        baseline = scenario.with_engine(ENGINES[0]).run(17).extra["telemetry"]
+        for engine in ENGINES[1:]:
+            assert scenario.with_engine(engine).run(17).extra["telemetry"] == baseline
+
+
+class TestPlainRunsStayTelemetryFree:
+    def test_disabled_scenarios_attach_no_snapshot(self):
+        measurement = ElectionScenario(protocol="raft", cluster_size=3).run(0)
+        assert "telemetry" not in measurement.extra
+
+    def test_enabling_telemetry_does_not_change_the_measurement(self):
+        plain = ElectionScenario(protocol="raft", cluster_size=3).run(21)
+        instrumented = ElectionScenario(
+            protocol="raft", cluster_size=3, telemetry=True
+        ).run(21)
+        assert instrumented.total_ms == plain.total_ms
+        assert instrumented.detection_ms == plain.detection_ms
+        assert instrumented.converged == plain.converged

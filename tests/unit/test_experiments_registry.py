@@ -173,6 +173,29 @@ class TestRunExperiment:
         # Capability values are recorded only when they were passed.
         assert "protocols" not in run.parameters and "plan" not in run.parameters
 
+    def test_profile_phases_land_in_the_envelope(self):
+        run = run_experiment("fig3", runs=1, seed=0, quick=True)
+        assert set(run.profile) == {"build", "sweep", "report"}
+        assert all(seconds >= 0.0 for seconds in run.profile.values())
+        # elapsed_s keeps its historical meaning: the sweep phase itself.
+        assert run.elapsed_s == run.profile["sweep"]
+        assert run.metadata()["profile"] == {
+            phase: round(seconds, 3) for phase, seconds in run.profile.items()
+        }
+
+    def test_trace_out_archives_one_episode_per_label(self, tmp_path):
+        import json
+
+        run = run_experiment(
+            "fig3", runs=1, seed=0, quick=True, trace=str(tmp_path)
+        )
+        assert run.parameters["trace"] == str(tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert set(manifest["labels"]) == set(run.result.by_range)
+        for entry in manifest["labels"].values():
+            assert (tmp_path / entry["file"]).exists()
+            assert entry["records"] > 0
+
     def test_engine_selection_is_recorded_and_scoped_to_the_run(self):
         from repro.sim import engines
 

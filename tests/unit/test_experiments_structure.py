@@ -383,3 +383,29 @@ class TestCli:
             registry.run_experiment("fig3", runs=1, streaming=True)
         with pytest.raises(ConfigurationError, match="checkpoint"):
             registry.run_experiment("fig9-xl", runs=1, streaming=False, checkpoint="x")
+
+    def test_trace_capable_experiments_exist(self):
+        assert registry.supporting("trace") == ("fig3", "fig9")
+
+    def test_trace_out_option_takes_a_directory(self):
+        # dest is "trace" so the registry's capability loop sees the option
+        # under its capability name.
+        parser = build_parser()
+        assert parser.parse_args(["fig3", "--trace-out", "traces"]).trace == "traces"
+        assert parser.parse_args(["fig3"]).trace is None
+
+    def test_trace_rejected_for_unsupporting_experiments(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(
+            ConfigurationError, match="--trace is not supported by: fig4"
+        ):
+            registry.run_experiment("fig4", runs=1, trace="traces")
+
+    def test_progress_options_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3", "--heartbeat", "hb.json", "--ticker"])
+        assert args.heartbeat == "hb.json"
+        assert args.ticker is True
+        defaults = parser.parse_args(["fig3"])
+        assert defaults.heartbeat is None and defaults.ticker is False

@@ -87,6 +87,23 @@ class TestD1WallClock:
         )
         assert findings == []
 
+    @pytest.mark.parametrize("module", ["profiling.py", "progress.py"])
+    def test_obs_wall_clock_modules_are_file_allowlisted(self, tmp_path, module):
+        # Progress/profiling report wall-clock rates by definition; the
+        # allowlist names the two files explicitly.
+        path = tmp_path / "repro" / "obs" / module
+        path.parent.mkdir(parents=True)
+        path.write_text("import time\n\nstamp = time.monotonic()\n")
+        assert lint_file(path) == []
+
+    def test_obs_telemetry_stays_under_the_wall_clock_rule(self, tmp_path):
+        # The allowlist covers two files, not the repro/obs/ package:
+        # telemetry measures simulated facts only.
+        path = tmp_path / "repro" / "obs" / "telemetry.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import time\n\nstamp = time.monotonic()\n")
+        assert _ids(lint_file(path)) == ["D1"]
+
 
 class TestD2RngConstruction:
     def test_unseeded_random_is_flagged(self, tmp_path):

@@ -1,0 +1,77 @@
+"""Unit tests for the wall-clock phase profiler."""
+
+import pytest
+
+from repro.obs.profiling import Profiler
+
+
+class SteppingClock:
+    """Returns increasing timestamps from a scripted step sequence."""
+
+    def __init__(self, *steps):
+        self.now = 0.0
+        self._steps = list(steps)
+
+    def tick(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestProfiler:
+    def test_phase_records_elapsed_time(self):
+        clock = SteppingClock()
+        profiler = Profiler(clock=clock)
+        with profiler.phase("sweep"):
+            clock.tick(2.5)
+        assert profiler.elapsed("sweep") == pytest.approx(2.5)
+
+    def test_reentering_a_phase_accumulates(self):
+        clock = SteppingClock()
+        profiler = Profiler(clock=clock)
+        for _ in range(3):
+            with profiler.phase("export"):
+                clock.tick(1.0)
+        assert profiler.elapsed("export") == pytest.approx(3.0)
+
+    def test_elapsed_default_for_unknown_phase(self):
+        profiler = Profiler(clock=SteppingClock())
+        assert profiler.elapsed("never") == 0.0
+        assert profiler.elapsed("never", default=-1.0) == -1.0
+
+    def test_total_and_snapshot_preserve_first_seen_order(self):
+        clock = SteppingClock()
+        profiler = Profiler(clock=clock)
+        with profiler.phase("build"):
+            clock.tick(1.0)
+        with profiler.phase("sweep"):
+            clock.tick(4.0)
+        with profiler.phase("report"):
+            clock.tick(0.5)
+        assert list(profiler.snapshot()) == ["build", "sweep", "report"]
+        assert profiler.total == pytest.approx(5.5)
+
+    def test_snapshot_is_a_copy(self):
+        clock = SteppingClock()
+        profiler = Profiler(clock=clock)
+        with profiler.phase("build"):
+            clock.tick(1.0)
+        snapshot = profiler.snapshot()
+        snapshot["build"] = 99.0
+        assert profiler.elapsed("build") == pytest.approx(1.0)
+
+    def test_phase_records_even_when_the_block_raises(self):
+        clock = SteppingClock()
+        profiler = Profiler(clock=clock)
+        with pytest.raises(RuntimeError):
+            with profiler.phase("sweep"):
+                clock.tick(2.0)
+                raise RuntimeError("boom")
+        assert profiler.elapsed("sweep") == pytest.approx(2.0)
+
+    def test_default_clock_measures_real_time(self):
+        profiler = Profiler()
+        with profiler.phase("noop"):
+            pass
+        assert profiler.elapsed("noop") >= 0.0

@@ -1,0 +1,124 @@
+"""Unit tests for the sweep progress reporter (heartbeat + ticker)."""
+
+import io
+import json
+
+from repro.obs.progress import HEARTBEAT_SCHEMA, ProgressReporter
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic rate tests."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressReporter:
+    def test_status_tracks_totals_rate_and_eta(self):
+        clock = FakeClock()
+        reporter = ProgressReporter(clock=clock)
+        reporter.sweep_begin(["a", "b"], runs=10, workers=4)
+        clock.advance(5.0)
+        reporter("a", 5, 10)
+        reporter("b", 5, 10)
+        status = reporter.status()
+        assert status["schema"] == HEARTBEAT_SCHEMA
+        assert status["labels"] == {
+            "a": {"completed": 5, "total": 10},
+            "b": {"completed": 5, "total": 10},
+        }
+        assert status["completed"] == 10 and status["total"] == 20
+        assert status["episodes_per_s"] == 2.0
+        assert status["eta_s"] == 5.0
+        assert status["workers"] == 4
+        assert status["finished"] is False
+
+    def test_sweep_begin_announces_the_plan_before_any_callback(self):
+        reporter = ProgressReporter(clock=FakeClock())
+        reporter.sweep_begin(["a", "b", "c"], runs=7, workers=1)
+        status = reporter.status()
+        assert status["total"] == 21 and status["completed"] == 0
+        assert status["eta_s"] is None  # no rate yet, never divide by zero
+
+    def test_resumed_episodes_do_not_inflate_the_rate(self):
+        clock = FakeClock()
+        reporter = ProgressReporter(clock=clock)
+        reporter.sweep_begin(["a"], runs=100, workers=2)
+        reporter.mark_resumed("a", 90)
+        clock.advance(5.0)
+        reporter("a", 95, 100)
+        status = reporter.status()
+        assert status["resumed"] == 90
+        # Only the 5 fresh episodes count toward the rate (1/s, not 19/s).
+        assert status["episodes_per_s"] == 1.0
+        assert status["eta_s"] == 5.0
+
+    def test_heartbeat_file_is_written_and_finalised(self, tmp_path):
+        clock = FakeClock()
+        path = tmp_path / "hb.json"
+        reporter = ProgressReporter(heartbeat_path=path, clock=clock)
+        reporter.sweep_begin(["a"], runs=2, workers=1)
+        clock.advance(1.0)
+        reporter("a", 1, 2)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == HEARTBEAT_SCHEMA
+        assert payload["completed"] == 1 and payload["finished"] is False
+        assert not path.with_suffix(".json.tmp").exists()  # atomic rename
+        reporter("a", 2, 2)
+        reporter.finish()
+        final = json.loads(path.read_text())
+        assert final["completed"] == 2 and final["finished"] is True
+
+    def test_emission_is_throttled_to_the_interval(self, tmp_path):
+        clock = FakeClock()
+        path = tmp_path / "hb.json"
+        reporter = ProgressReporter(
+            heartbeat_path=path, interval_s=10.0, clock=clock
+        )
+        reporter.sweep_begin(["a"], runs=3, workers=1)
+        reporter("a", 1, 3)  # first call always emits
+        first = path.read_text()
+        clock.advance(1.0)
+        reporter("a", 2, 3)  # within the interval: no rewrite
+        assert path.read_text() == first
+        clock.advance(10.0)
+        reporter("a", 3, 3)  # past the interval: rewritten
+        assert json.loads(path.read_text())["completed"] == 3
+
+    def test_ticker_overwrites_one_line_and_ends_with_newline(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(ticker=True, clock=clock, stream=stream)
+        reporter.sweep_begin(["a"], runs=2, workers=1)
+        clock.advance(1.0)
+        reporter("a", 1, 2)
+        assert stream.getvalue().startswith("\r")
+        assert "1/2 episodes" in stream.getvalue()
+        reporter.finish()
+        reporter.finish()  # idempotent
+        assert stream.getvalue().endswith("\n")
+        assert stream.getvalue().count("\n") == 1
+
+    def test_finish_without_any_progress_is_safe(self, tmp_path):
+        path = tmp_path / "hb.json"
+        reporter = ProgressReporter(heartbeat_path=path, clock=FakeClock())
+        reporter.finish()
+        payload = json.loads(path.read_text())
+        assert payload["finished"] is True and payload["total"] == 0
+
+    def test_utilization_tracks_the_rate_against_its_peak(self):
+        clock = FakeClock()
+        reporter = ProgressReporter(clock=clock)
+        reporter.sweep_begin(["a"], runs=100, workers=4)
+        clock.advance(1.0)
+        reporter("a", 10, 100)
+        assert reporter.status()["utilization"] == 1.0  # at peak
+        clock.advance(9.0)
+        status = reporter.status()  # same work over 10x the time: rate sags
+        assert 0.0 < status["utilization"] < 1.0

@@ -1,0 +1,160 @@
+"""Unit tests for trace sinks, filters, JSONL round-trips and archiving."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cluster.scenarios import ElectionScenario
+from repro.obs.trace import (
+    JsonlTraceSink,
+    MemoryTraceSink,
+    RingTraceSink,
+    TRACE_MANIFEST_SCHEMA,
+    TraceFilter,
+    TraceSink,
+    archive_election_traces,
+    export_records,
+    read_trace_jsonl,
+    record_from_json,
+    record_to_json,
+    write_trace_jsonl,
+)
+from repro.sim.tracing import TraceRecord
+
+
+def _records(count=5, category="election.start"):
+    return [
+        TraceRecord(time_ms=float(index), category=category, node=index % 2, detail={"i": index})
+        for index in range(count)
+    ]
+
+
+class TestRecordJson:
+    def test_round_trips_including_none_node(self):
+        record = TraceRecord(time_ms=12.5, category="net.drop", node=None, detail={"k": [1, 2]})
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_survives_an_actual_json_encode(self):
+        record = _records(1)[0]
+        assert record_from_json(json.loads(json.dumps(record_to_json(record)))) == record
+
+
+class TestSinks:
+    def test_memory_sink_collects_and_closes(self):
+        sink = MemoryTraceSink()
+        assert isinstance(sink, TraceSink)
+        for record in _records(3):
+            sink.write(record)
+        assert len(sink.records) == 3
+        sink.close()
+        assert sink.closed
+
+    def test_ring_sink_keeps_newest_and_counts_drops(self):
+        sink = RingTraceSink(capacity=3)
+        assert isinstance(sink, TraceSink)
+        records = _records(5)
+        for record in records:
+            sink.write(record)
+        assert sink.records == tuple(records[2:])
+        assert sink.dropped_count == 2
+        assert sink.capacity == 3
+
+    def test_ring_sink_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            RingTraceSink(capacity=0)
+
+    def test_jsonl_sink_round_trips_losslessly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = _records(4)
+        with JsonlTraceSink(path) as sink:
+            for record in records:
+                sink.write(record)
+        assert sink.written == 4
+        assert read_trace_jsonl(path) == records
+
+
+class TestTraceFilter:
+    def test_is_frozen_hashable_and_picklable(self):
+        trace_filter = TraceFilter(categories=("election.",), nodes=(1, 2))
+        assert hash(trace_filter) == hash(TraceFilter(("election.",), (1, 2)))
+        assert pickle.loads(pickle.dumps(trace_filter)) == trace_filter
+
+    def test_coerces_sequences_to_tuples(self):
+        trace_filter = TraceFilter(categories=["a"], nodes=[1])
+        assert trace_filter.categories == ("a",)
+        assert trace_filter.nodes == (1,)
+
+    def test_category_prefix_matching(self):
+        trace_filter = TraceFilter(categories=("election.",))
+        assert trace_filter.matches(TraceRecord(0.0, "election.start"))
+        assert not trace_filter.matches(TraceRecord(0.0, "net.drop"))
+
+    def test_cluster_wide_records_pass_the_node_filter(self):
+        trace_filter = TraceFilter(nodes=(1,))
+        assert trace_filter.matches(TraceRecord(0.0, "crash", node=None))
+        assert trace_filter.matches(TraceRecord(0.0, "x", node=1))
+        assert not trace_filter.matches(TraceRecord(0.0, "x", node=2))
+
+    def test_empty_filter_matches_everything(self):
+        trace_filter = TraceFilter()
+        for record in _records(3):
+            assert trace_filter.matches(record)
+
+    def test_export_records_applies_the_filter(self):
+        sink = MemoryTraceSink()
+        records = _records(4, category="election.start") + _records(2, category="net.drop")
+        written = export_records(records, sink, TraceFilter(categories=("election.",)))
+        assert written == 4
+        assert all(r.category == "election.start" for r in sink.records)
+
+    def test_write_trace_jsonl_reports_the_written_count(self, tmp_path):
+        path = tmp_path / "filtered.jsonl"
+        records = _records(4, category="a") + _records(2, category="b")
+        written = write_trace_jsonl(path, records, TraceFilter(categories=("b",)))
+        assert written == 2
+        assert len(read_trace_jsonl(path)) == 2
+
+
+class TestArchive:
+    def test_archives_one_traced_episode_per_label(self, tmp_path):
+        scenarios = {
+            "raft@3": ElectionScenario(protocol="raft", cluster_size=3),
+            "escape@3": ElectionScenario(protocol="escape", cluster_size=3),
+        }
+        manifest = archive_election_traces(scenarios, seed=7, directory=tmp_path)
+        assert manifest["schema"] == TRACE_MANIFEST_SCHEMA
+        assert manifest["seed"] == 7
+        assert set(manifest["labels"]) == set(scenarios)
+        on_disk = json.loads((tmp_path / "manifest.json").read_text())
+        assert on_disk == manifest
+        for label, entry in manifest["labels"].items():
+            records = read_trace_jsonl(tmp_path / entry["file"])
+            assert len(records) == entry["records"] > 0
+            assert entry["filtered_out"] == 0
+        # Scenario telemetry rides along into telemetry.json.
+        telemetry = json.loads((tmp_path / "telemetry.json").read_text())
+        assert set(telemetry["labels"]) == set(scenarios)
+        for state in telemetry["labels"].values():
+            assert state["counters"]["node.elections_won"] >= 1
+        assert manifest["telemetry"] == "telemetry.json"
+
+    def test_archive_honours_a_filter(self, tmp_path):
+        scenarios = {"raft@3": ElectionScenario(protocol="raft", cluster_size=3)}
+        trace_filter = TraceFilter(categories=("election.",))
+        manifest = archive_election_traces(
+            scenarios, seed=0, directory=tmp_path, trace_filter=trace_filter
+        )
+        entry = manifest["labels"]["raft@3"]
+        assert entry["filtered_out"] > 0
+        assert manifest["filter"] == {"categories": ["election."], "nodes": []}
+        for record in read_trace_jsonl(tmp_path / entry["file"]):
+            assert record.category.startswith("election.")
+
+    def test_archived_episode_matches_the_sweep_seed_derivation(self, tmp_path):
+        from repro.common.rng import paired_seeds
+
+        scenarios = {"raft@3": ElectionScenario(protocol="raft", cluster_size=3)}
+        manifest = archive_election_traces(scenarios, seed=42, directory=tmp_path)
+        expected = paired_seeds(1, 42, "raft@3")[0]
+        assert manifest["labels"]["raft@3"]["episode_seed"] == expected

@@ -40,11 +40,24 @@ class TestTracer:
             tracer.record(float(index), "x")
         assert len(tracer) == 2
 
+    def test_capacity_drops_are_counted_not_silent(self):
+        tracer = Tracer(capacity=2)
+        assert tracer.dropped_count == 0
+        for index in range(5):
+            tracer.record(float(index), "x")
+        assert tracer.dropped_count == 3
+        # The kept records are the oldest (the ring complement lives in
+        # repro.obs.trace.RingTraceSink).
+        assert [record.time_ms for record in tracer] == [0.0, 1.0]
+
     def test_clear_resets(self):
-        tracer = Tracer()
+        tracer = Tracer(capacity=1)
         tracer.record(1.0, "a")
+        tracer.record(2.0, "b")
+        assert tracer.dropped_count == 1
         tracer.clear()
         assert len(tracer) == 0
+        assert tracer.dropped_count == 0
 
     def test_timeline_renders_one_line_per_record(self):
         tracer = Tracer()
@@ -54,6 +67,24 @@ class TestTracer:
         assert "S2" in timeline
         assert "foo=bar" in timeline
         assert len(timeline.splitlines()) == 2
+
+    def test_timeline_limit_truncates_from_the_front(self):
+        tracer = Tracer()
+        for index in range(4):
+            tracer.record(float(index), f"cat{index}")
+        limited = tracer.timeline(limit=2)
+        assert len(limited.splitlines()) == 2
+        assert "cat0" in limited and "cat1" in limited
+        assert "cat3" not in limited
+
+    def test_timeline_discloses_capacity_drops(self):
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            tracer.record(float(index), "x")
+        timeline = tracer.timeline()
+        lines = timeline.splitlines()
+        assert len(lines) == 3
+        assert lines[-1] == "... 3 record(s) dropped at capacity 2"
 
 
 class TestSimulationWorld:
