@@ -239,8 +239,47 @@ def record_experiments(reps: int, quick: bool) -> dict:
                     )
                 )
             print(f"  {name:<14} engine={engine:<7} {best:8.3f} s", flush=True)
+    entries.extend(_record_workload_entries(quick))
     entries.extend(_record_sweep_entries(quick))
     return _ledger("experiments", quick, reps, entries)
+
+
+def _record_workload_entries(quick: bool) -> list[dict]:
+    """Simulated serving throughput: closed- vs open-loop ops/sec at s=16.
+
+    Unlike every other ledger metric these are *simulated* quantities --
+    committed ops per simulated second under the default chaos plan -- so
+    they are deterministic per seed and machine-portable.  They document the
+    client-side throughput the workload subsystem sustains and gate against
+    semantic regressions (a scheduling or commit-tracking change that alters
+    serving behaviour moves them; a slower laptop does not).
+    """
+    from repro.chaos.plans import build_plan
+    from repro.workload.scenario import ThroughputScenario
+
+    horizon_ms = 30_000.0 if quick else 60_000.0
+    plan = build_plan("repeated-leader-kill", horizon_ms, seed=0)
+    entries: list[dict] = []
+    for label, workload in (("closed-loop", "closed-loop"), ("open-loop", "open-poisson")):
+        scenario = ThroughputScenario(
+            protocol="escape", cluster_size=16, plan=plan, workload=workload
+        )
+        measurement = scenario.run(seed=0)
+        entries.append(
+            _entry(
+                f"workload/{label}/s=16",
+                "ops_per_s",
+                measurement.ops_per_s,
+                "1/s",
+                higher_is_better=True,
+            )
+        )
+        print(
+            f"  workload {label:<12} s=16 {measurement.ops_per_s:8.2f} ops/s "
+            f"(simulated, deterministic)",
+            flush=True,
+        )
+    return entries
 
 
 def _sweep_bench(argv: list[str]) -> dict:

@@ -6,8 +6,8 @@ one frozen, picklable experimental condition (protocol, cluster size, network
 specs, chaos plan, client workload) that knows how to run one measured
 episode.  An episode stabilises a first leader, opens the availability
 window, lets the :class:`~repro.chaos.driver.ChaosDriver` inject the plan
-while a :class:`~repro.cluster.workload.ClientWorkload` keeps proposing, and
-closes the window into an
+while a legacy-interval :class:`~repro.workload.driver.WorkloadDriver` keeps
+proposing, and closes the window into an
 :class:`~repro.metrics.records.AvailabilityMeasurement`.
 
 Because the scenario reuses :class:`ElectionScenario` for cluster
@@ -26,11 +26,12 @@ from repro.chaos.availability import AvailabilityObserver, quorum_leader
 from repro.chaos.driver import ChaosDriver
 from repro.chaos.plans import ChaosPlan
 from repro.cluster.scenarios import ElectionScenario
-from repro.cluster.workload import ClientWorkload
 from repro.common.config import ScaParameters
 from repro.common.types import Milliseconds
 from repro.metrics.records import AvailabilityMeasurement
 from repro.net.specs import FaultSpec, LatencySpec
+from repro.workload import legacy_interval
+from repro.workload.driver import WorkloadDriver
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.cluster.builder import SimulatedCluster
@@ -138,15 +139,18 @@ class ChaosScenario:
             (node.commit_index for node in cluster.running_nodes()), default=0
         )
 
-        workload: ClientWorkload | None = None
+        # The legacy-interval workload replays the retired ClientWorkload
+        # loop exactly (byte-identical reports); a quorum-aware leader
+        # selector makes ticks that fall inside a partition outage (only a
+        # stale, commit-incapable leader exists) count as dropped at the
+        # client instead of landing on a leader that can never acknowledge
+        # them.
+        workload: WorkloadDriver | None = None
         if self.workload_interval_ms > 0:
-            # A quorum-aware leader selector: ticks that fall inside a
-            # partition outage (only a stale, commit-incapable leader exists)
-            # count as dropped at the client instead of landing on a leader
-            # that can never acknowledge them.
-            workload = ClientWorkload(
+            workload = WorkloadDriver(
                 cluster,
-                interval_ms=self.workload_interval_ms,
+                legacy_interval(self.workload_interval_ms),
+                seed=seed,
                 leader_selector=lambda: quorum_leader(cluster),
             )
             workload.start()

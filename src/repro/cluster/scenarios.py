@@ -17,15 +17,16 @@ from repro.sim import engines as engine_registry
 from repro.cluster.builder import SimulatedCluster, build_cluster
 from repro.cluster.harness import ElectionHarness
 from repro.cluster.observers import ElectionObserver
-from repro.cluster.workload import ClientWorkload
 from repro.common.config import ClusterConfig, ProtocolConfig, RaftTimeoutConfig, ScaParameters
 from repro.common.errors import ConfigurationError
 from repro.common.rng import SeedSequence, paired_seeds
 from repro.common.types import Milliseconds, ServerId
 from repro.metrics.records import ElectionMeasurement
 from repro.net.faults import BroadcastOmissionFault, FaultInjector, NoFault
-from repro.obs.harvest import TelemetryListener, harvest_cluster
+from repro.obs.harvest import TelemetryListener, harvest_cluster, harvest_workload
 from repro.obs.telemetry import MetricsRegistry
+from repro.workload import legacy_interval
+from repro.workload.driver import WorkloadDriver
 from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.specs import FaultSpec, LatencySpec
 from repro.raft.timers import (
@@ -231,22 +232,29 @@ class ElectionScenario:
         registry = MetricsRegistry()
         listener = TelemetryListener(registry)
         measurement, cluster = self._run_episode(
-            seed, extra_listeners=(listener,)
+            seed, extra_listeners=(listener,), metrics=registry
         )
         harvest_cluster(cluster, registry)
         measurement.extra["telemetry"] = registry.snapshot().to_state()
         return measurement, cluster
 
     def _run_episode(
-        self, seed: int, extra_listeners: tuple = ()
+        self,
+        seed: int,
+        extra_listeners: tuple = (),
+        metrics: MetricsRegistry | None = None,
     ) -> tuple[ElectionMeasurement, SimulatedCluster]:
         cluster, harness = self.build(seed, extra_listeners=extra_listeners)
         cluster.start_all()
         harness.stabilize(max_time_ms=self.stabilize_ms)
 
-        workload: ClientWorkload | None = None
+        # The legacy-interval workload replays the retired ClientWorkload
+        # loop exactly, so pre-subsystem reports stay byte-identical.
+        workload: WorkloadDriver | None = None
         if self.workload_interval_ms > 0:
-            workload = ClientWorkload(cluster, interval_ms=self.workload_interval_ms)
+            workload = WorkloadDriver(
+                cluster, legacy_interval(self.workload_interval_ms), seed=seed
+            )
             workload.start()
         if self.pre_crash_ms > 0:
             harness.run_for(self.pre_crash_ms)
@@ -263,6 +271,8 @@ class ElectionScenario:
         )
         if workload is not None:
             workload.stop()
+            if metrics is not None:
+                harvest_workload(workload, metrics)
         harness.assert_at_most_one_leader_per_term()
         measurement.extra.update(
             {

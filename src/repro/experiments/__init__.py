@@ -39,6 +39,7 @@ from repro.experiments import fig10_competing_candidates
 from repro.experiments import fig11_message_loss
 from repro.experiments import exp_wan
 from repro.experiments import exp_availability
+from repro.experiments import exp_throughput
 from repro.experiments import ablation_ppf
 from repro.experiments import ablation_k_sweep
 from repro.experiments import adapter_redis
@@ -54,6 +55,7 @@ __all__ = [
     "ablation_ppf",
     "adapter_redis",
     "exp_availability",
+    "exp_throughput",
     "exp_wan",
     "fig03_randomization",
     "fig04_randomization_average",

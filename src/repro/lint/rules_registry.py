@@ -1,6 +1,6 @@
 """The registry rules (``S1`` spec purity, ``S2`` experiment completeness).
 
-Unlike the AST rules these run once per lint invocation: they import the five
+Unlike the AST rules these run once per lint invocation: they import the six
 spec registries through their ``registered_specs()`` introspection hooks and
 inspect the *registered values themselves*.  That is deliberate -- the
 reproducibility contract is about what actually reaches the parallel sweep
@@ -28,7 +28,7 @@ __all__ = [
     "load_registries",
 ]
 
-#: The five spec registries, each enumerated through its
+#: The six spec registries, each enumerated through its
 #: ``registered_specs()`` hook.  Chaos additionally checks the plan each
 #: catalog entry builds (a short horizon keeps it cheap), since the *plan*
 #: is what actually crosses the process boundary.
@@ -39,6 +39,7 @@ def load_registries() -> dict[str, tuple[tuple[str, object], ...]]:
     from repro.experiments import registry as experiment_registry
     from repro.protocols import registry as protocol_registry
     from repro.sim import engines as engine_registry
+    from repro.workload import specs as workload_registry
 
     chaos_specs: list[tuple[str, object]] = []
     for name, entry in chaos_plans.registered_specs():
@@ -55,6 +56,7 @@ def load_registries() -> dict[str, tuple[tuple[str, object], ...]]:
         "net-conditions": tuple(net_catalog.registered_specs()),
         "chaos-plans": tuple(chaos_specs),
         "engines": tuple(engine_registry.registered_specs()),
+        "workloads": tuple(workload_registry.registered_specs()),
     }
 
 
@@ -145,7 +147,7 @@ def iter_spec_problems(registry: str, name: str, spec: object) -> list[Finding]:
 
 
 def check_registered_specs(config: LintConfig) -> list[Finding]:
-    """S1 over every spec in all five registries."""
+    """S1 over every spec in all six registries."""
     findings: list[Finding] = []
     for registry, pairs in load_registries().items():
         for name, spec in pairs:

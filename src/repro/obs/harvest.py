@@ -20,7 +20,19 @@ pinned by the engine/worker parity tests:
 ``chaos.skipped[.kind]``  quorum-guard skips, total and per kind
 ``node.*``                election timeouts, campaigns, votes, wins, role
                           changes, commits, and the attempt-number histogram
+``workload.proposed``     client proposals a leader accepted
+``workload.rejected``     proposals abandoned after ``NotLeaderError``
+``workload.dropped``      proposals dropped while leaderless
+``workload.committed``    tracked ops applied to the state machine
+``workload.retries``      extra attempts after ``NotLeaderError``
+``workload.lost``         proposed ops that never committed (failover loss)
 ========================  =====================================================
+
+The ``workload.*`` counters come from :func:`harvest_workload`.  The first
+three exist for every workload -- including the legacy fixed-interval
+:class:`~repro.cluster.workload.ClientWorkload` loop -- while the tracked
+trio appears only when the workload is a per-op-tracking
+:class:`~repro.workload.driver.WorkloadDriver`.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ __all__ = [
     "harvest_cluster",
     "harvest_network",
     "harvest_scheduler",
+    "harvest_workload",
 ]
 
 #: Bucket bounds for the election-timeout attempt histogram: attempts are
@@ -87,6 +100,28 @@ def harvest_chaos(driver: "ChaosDriver", metrics: MetricsRegistry) -> None:
         metrics.counter(f"chaos.applied.{record.kind}").inc()
     for record in driver.skipped:
         metrics.counter(f"chaos.skipped.{record.kind}").inc()
+
+
+def harvest_workload(workload, metrics: MetricsRegistry) -> None:
+    """Fold a client workload's counters into *metrics*.
+
+    Accepts both the legacy :class:`~repro.cluster.workload.ClientWorkload`
+    (which only keeps the proposed/rejected/dropped trio) and the tracking
+    :class:`~repro.workload.driver.WorkloadDriver`; counters the workload
+    does not keep are simply not emitted, so the metric-name contract above
+    stays truthful for either.
+    """
+    metrics.counter("workload.proposed").inc(workload.proposed)
+    metrics.counter("workload.rejected").inc(workload.rejected)
+    metrics.counter("workload.dropped").inc(workload.dropped)
+    for metric, attribute in (
+        ("workload.committed", "committed"),
+        ("workload.retries", "retries"),
+        ("workload.lost", "lost"),
+    ):
+        value = getattr(workload, attribute, None)
+        if value is not None:
+            metrics.counter(metric).inc(value)
 
 
 def harvest_cluster(cluster, metrics: MetricsRegistry) -> None:

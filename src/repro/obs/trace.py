@@ -260,7 +260,9 @@ def archive_election_traces(
             else scenario
         )
         measurement, records = source.run_traced(episode_seed)
-        file_name = f"{label}.jsonl"
+        # Labels may contain path separators (e.g. "raft/closed-loop");
+        # flatten them so every archive file lands directly in out_dir.
+        file_name = f"{label.replace('/', '--')}.jsonl"
         written = write_trace_jsonl(
             os.path.join(out_dir, file_name), records, trace_filter
         )

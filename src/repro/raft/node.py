@@ -498,10 +498,10 @@ class RaftNode:
         if not self._response_hook_is_default:
             self._hook_on_append_response(src, response)
         if response.success:
-            self.progress.record_success(src, response.match_index, self.env.now())
+            self.progress.record_success(src, response.match_index)
             self._advance_commit_index()
         else:
-            self.progress.record_failure(src, response.match_index, self.env.now())
+            self.progress.record_failure(src, response.match_index)
 
     # ------------------------------------------------------------------ #
     # Role transitions

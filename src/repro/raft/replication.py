@@ -22,17 +22,13 @@ class PeerProgress:
 
     next_index: LogIndex
     match_index: LogIndex = 0
-    last_response_ms: float | None = None
 
-    def record_success(self, match_index: LogIndex, now_ms: float | None = None) -> None:
+    def record_success(self, match_index: LogIndex) -> None:
         """A successful AppendEntries response confirmed *match_index*."""
         self.match_index = max(self.match_index, match_index)
         self.next_index = max(self.next_index, self.match_index + 1)
-        self.last_response_ms = now_ms
 
-    def record_failure(
-        self, follower_last_index: LogIndex, now_ms: float | None = None
-    ) -> None:
+    def record_failure(self, follower_last_index: LogIndex) -> None:
         """A failed consistency check: rewind ``next_index``.
 
         The follower includes its last log index in the reply, letting the
@@ -40,7 +36,6 @@ class PeerProgress:
         decrementing one index per round trip.
         """
         self.next_index = max(1, min(self.next_index - 1, follower_last_index + 1))
-        self.last_response_ms = now_ms
 
 
 class ReplicationProgress:
@@ -77,17 +72,13 @@ class ReplicationProgress:
         """The leader appended up to *last_log_index* locally."""
         self._leader_match_index = max(self._leader_match_index, last_log_index)
 
-    def record_success(
-        self, peer: ServerId, match_index: LogIndex, now_ms: float | None = None
-    ) -> None:
+    def record_success(self, peer: ServerId, match_index: LogIndex) -> None:
         """Record a successful AppendEntries response from *peer*."""
-        self.progress_of(peer).record_success(match_index, now_ms)
+        self.progress_of(peer).record_success(match_index)
 
-    def record_failure(
-        self, peer: ServerId, follower_last_index: LogIndex, now_ms: float | None = None
-    ) -> None:
+    def record_failure(self, peer: ServerId, follower_last_index: LogIndex) -> None:
         """Record a failed AppendEntries response from *peer*."""
-        self.progress_of(peer).record_failure(follower_last_index, now_ms)
+        self.progress_of(peer).record_failure(follower_last_index)
 
     def commit_index_for_quorum(
         self, quorum_size: int, log: ReplicatedLog, current_term: Term

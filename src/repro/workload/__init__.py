@@ -1,0 +1,44 @@
+"""The replicated-workload subsystem: the sixth spec registry.
+
+Frozen :class:`~repro.workload.specs.WorkloadSpec` values describe client
+traffic shapes by name; :class:`~repro.workload.driver.WorkloadDriver`
+resolves one against a live cluster; :class:`~repro.workload.aggregate
+.WorkloadAggregate` folds the per-op records into mergeable streaming
+summaries for the ``throughput`` experiment.
+
+:class:`~repro.workload.scenario.ThroughputScenario` is deliberately *not*
+re-exported here: the cluster layer imports this package for the driver, and
+the scenario imports the cluster layer, so experiments and tests import it
+from :mod:`repro.workload.scenario` directly.
+"""
+
+from repro.workload.aggregate import WorkloadAggregate
+from repro.workload.driver import WorkloadDriver
+from repro.workload.records import WorkloadMeasurement, WorkloadSet
+from repro.workload.specs import (
+    KeyspaceSpec,
+    ValueSizeSpec,
+    WorkloadSpec,
+    get,
+    is_registered,
+    legacy_interval,
+    names,
+    register,
+    registered_specs,
+)
+
+__all__ = [
+    "KeyspaceSpec",
+    "ValueSizeSpec",
+    "WorkloadAggregate",
+    "WorkloadDriver",
+    "WorkloadMeasurement",
+    "WorkloadSet",
+    "WorkloadSpec",
+    "get",
+    "is_registered",
+    "legacy_interval",
+    "names",
+    "register",
+    "registered_specs",
+]

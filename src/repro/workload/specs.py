@@ -1,0 +1,328 @@
+"""The workload registry: named, frozen client-traffic shapes.
+
+The election experiments measure how fast a cluster finds a leader; what a
+user feels is how commit latency and goodput behave *while* it does.  A
+:class:`WorkloadSpec` captures one client-traffic shape -- closed-loop clients
+with think time, or an open-loop arrival process -- together with a keyspace
+model and a value-size model, as a frozen, hashable, picklable value.  Like
+the protocol/engine/chaos registries, workloads are registered by name so the
+``throughput`` experiment, the CLI and the benchmarks all select them the
+same way, and every registered value is enumerated by ``repro.lint``'s S1
+spec-purity rule through :func:`registered_specs`.
+
+A spec is *resolved* against a live cluster by
+:class:`repro.workload.driver.WorkloadDriver`; this module is pure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Milliseconds
+
+__all__ = [
+    "KeyspaceSpec",
+    "ValueSizeSpec",
+    "WorkloadSpec",
+    "get",
+    "is_registered",
+    "legacy_interval",
+    "names",
+    "register",
+    "registered_specs",
+]
+
+#: The closed-loop / open-loop / legacy driver modes a spec may select.
+MODES: tuple[str, ...] = ("closed", "open", "legacy-interval")
+
+#: Open-loop arrival processes.
+ARRIVALS: tuple[str, ...] = ("poisson", "uniform", "burst")
+
+#: Key-selection models.
+KEY_MODES: tuple[str, ...] = ("round-robin", "uniform", "hotspot")
+
+#: Value-size models.
+VALUE_MODES: tuple[str, ...] = ("fixed", "uniform")
+
+
+@dataclass(frozen=True)
+class KeyspaceSpec:
+    """How clients pick keys.
+
+    ``round-robin`` cycles deterministically through the keyspace (the shape
+    of the legacy :class:`~repro.cluster.workload.ClientWorkload`);
+    ``uniform`` samples keys uniformly; ``hotspot`` sends ``hot_share`` of
+    the traffic to the hottest ``hot_fraction`` of the keys (a YCSB-style
+    skew).
+    """
+
+    keys: int = 16
+    mode: str = "round-robin"
+    hot_fraction: float = 0.1
+    hot_share: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.mode not in KEY_MODES:
+            raise ConfigurationError(
+                f"unknown keyspace mode {self.mode!r}; one of {KEY_MODES}"
+            )
+        if self.keys < 1:
+            raise ConfigurationError(f"keyspace needs >= 1 key, got {self.keys}")
+        if self.mode == "hotspot":
+            if self.keys < 2:
+                raise ConfigurationError("a hotspot keyspace needs >= 2 keys")
+            if not 0.0 < self.hot_fraction < 1.0:
+                raise ConfigurationError(
+                    f"hot_fraction must be in (0, 1), got {self.hot_fraction}"
+                )
+            if not 0.0 < self.hot_share <= 1.0:
+                raise ConfigurationError(
+                    f"hot_share must be in (0, 1], got {self.hot_share}"
+                )
+
+
+@dataclass(frozen=True)
+class ValueSizeSpec:
+    """How large proposed values are (payload characters)."""
+
+    mode: str = "fixed"
+    size: int = 16
+    min_size: int = 8
+    max_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in VALUE_MODES:
+            raise ConfigurationError(
+                f"unknown value-size mode {self.mode!r}; one of {VALUE_MODES}"
+            )
+        if self.mode == "fixed" and self.size < 1:
+            raise ConfigurationError(f"value size must be >= 1, got {self.size}")
+        if self.mode == "uniform" and not 1 <= self.min_size <= self.max_size:
+            raise ConfigurationError(
+                f"need 1 <= min_size <= max_size, got "
+                f"({self.min_size}, {self.max_size})"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named client-traffic shape.
+
+    Attributes:
+        name / description: registry identity and human summary.
+        mode: ``"closed"`` (each of *clients* keeps at most one request in
+            flight and thinks for an exponential ``think_time_ms`` between
+            completions), ``"open"`` (requests arrive on an *arrival* process
+            regardless of completions), or ``"legacy-interval"`` (the exact
+            fixed-interval loop of the original
+            :class:`~repro.cluster.workload.ClientWorkload`, kept so the
+            fig11/avail reports stay byte-identical).
+        clients: closed-loop client count.
+        think_time_ms: mean exponential think time between a closed-loop
+            client's completions.
+        arrival: open-loop arrival process -- ``"poisson"`` (exponential
+            gaps), ``"uniform"`` (fixed gaps) or ``"burst"`` (``burst_size``
+            back-to-back arrivals every ``burst_interval_ms``).
+        rate_per_s: open-loop mean arrival rate (poisson/uniform).
+        burst_size / burst_interval_ms: burst-arrival shape.
+        interval_ms: legacy fixed proposal period.
+        max_retries: extra proposal attempts after a ``NotLeaderError``
+            (the leader moved between lookup and proposal); the legacy mode
+            never retries.
+        retry_backoff_ms: delay before each retry attempt.
+        request_timeout_ms: how long a closed-loop client waits for its
+            in-flight request to commit before giving up and moving on (the
+            request itself may still commit later and is accounted either
+            way).
+        keyspace / value_size: what the proposed commands look like.
+    """
+
+    name: str
+    description: str = ""
+    mode: str = "closed"
+    clients: int = 4
+    think_time_ms: Milliseconds = 200.0
+    arrival: str = "poisson"
+    rate_per_s: float = 20.0
+    burst_size: int = 8
+    burst_interval_ms: Milliseconds = 500.0
+    interval_ms: Milliseconds = 250.0
+    max_retries: int = 2
+    retry_backoff_ms: Milliseconds = 50.0
+    request_timeout_ms: Milliseconds = 4_000.0
+    keyspace: KeyspaceSpec = KeyspaceSpec()
+    value_size: ValueSizeSpec = ValueSizeSpec()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a workload spec needs a name")
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown workload mode {self.mode!r}; one of {MODES}"
+            )
+        if self.mode == "closed" and self.clients < 1:
+            raise ConfigurationError(
+                f"a closed-loop workload needs >= 1 client, got {self.clients}"
+            )
+        if self.mode == "closed" and self.think_time_ms <= 0:
+            raise ConfigurationError(
+                f"think_time_ms must be > 0, got {self.think_time_ms}"
+            )
+        if self.mode == "open":
+            if self.arrival not in ARRIVALS:
+                raise ConfigurationError(
+                    f"unknown arrival process {self.arrival!r}; one of {ARRIVALS}"
+                )
+            if self.arrival in ("poisson", "uniform") and self.rate_per_s <= 0:
+                raise ConfigurationError(
+                    f"rate_per_s must be > 0, got {self.rate_per_s}"
+                )
+            if self.arrival == "burst" and (
+                self.burst_size < 1 or self.burst_interval_ms <= 0
+            ):
+                raise ConfigurationError(
+                    "a burst arrival needs burst_size >= 1 and "
+                    "burst_interval_ms > 0"
+                )
+        if self.mode == "legacy-interval" and self.interval_ms <= 0:
+            raise ConfigurationError(
+                f"interval_ms must be > 0, got {self.interval_ms}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_ms < 0:
+            raise ConfigurationError(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}"
+            )
+        if self.request_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"request_timeout_ms must be > 0, got {self.request_timeout_ms}"
+            )
+
+    @property
+    def tracked(self) -> bool:
+        """Whether the driver tracks per-op commit outcomes for this spec."""
+        return self.mode != "legacy-interval"
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Register *spec* under its name; returns it for assignment chaining.
+
+    Raises:
+        ConfigurationError: when the name is already taken (workloads are
+            immutable conditions; redefinition is always a bug).
+    """
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"workload {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> WorkloadSpec:
+    """Look a workload up by name.
+
+    Raises:
+        ConfigurationError: naming the available workloads when *name* is
+            unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from exc
+
+
+def names() -> tuple[str, ...]:
+    """Every registered workload name, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    """Whether *name* is a registered workload."""
+    return name in _REGISTRY
+
+
+def registered_specs() -> tuple[tuple[str, WorkloadSpec], ...]:
+    """``(name, spec)`` pairs for introspection tooling (``repro.lint`` S1)."""
+    return tuple(_REGISTRY.items())
+
+
+def legacy_interval(interval_ms: Milliseconds) -> WorkloadSpec:
+    """The legacy fixed-interval workload at a scenario-chosen period."""
+    return replace(get("legacy-interval"), interval_ms=interval_ms)
+
+
+# --------------------------------------------------------------------------- #
+# Built-in workloads
+# --------------------------------------------------------------------------- #
+register(
+    WorkloadSpec(
+        name="legacy-interval",
+        description=(
+            "The original ClientWorkload loop: one proposal every "
+            "interval_ms, no retries, no per-op tracking (fig11/avail "
+            "compatibility)."
+        ),
+        mode="legacy-interval",
+        interval_ms=250.0,
+        max_retries=0,
+    )
+)
+
+register(
+    WorkloadSpec(
+        name="closed-loop",
+        description=(
+            "4 closed-loop clients, one request in flight each, 200 ms mean "
+            "exponential think time."
+        ),
+        mode="closed",
+        clients=4,
+        think_time_ms=200.0,
+    )
+)
+
+register(
+    WorkloadSpec(
+        name="open-poisson",
+        description="Open-loop Poisson arrivals at 20 req/s.",
+        mode="open",
+        arrival="poisson",
+        rate_per_s=20.0,
+    )
+)
+
+register(
+    WorkloadSpec(
+        name="open-uniform",
+        description="Open-loop fixed-gap arrivals at 20 req/s.",
+        mode="open",
+        arrival="uniform",
+        rate_per_s=20.0,
+    )
+)
+
+register(
+    WorkloadSpec(
+        name="open-burst",
+        description=(
+            "Open-loop bursts: 8 back-to-back arrivals every 500 ms "
+            "(16 req/s mean, maximally bunched)."
+        ),
+        mode="open",
+        arrival="burst",
+        burst_size=8,
+        burst_interval_ms=500.0,
+        keyspace=KeyspaceSpec(mode="hotspot", keys=16),
+    )
+)

@@ -25,6 +25,7 @@ GOLDEN_RUNS = {
     "fig11": 1,
     "wan": 1,
     "avail": 1,
+    "throughput": 2,
     "ablation-ppf": 1,
     "ablation-k": 2,
     "adapter-redis": 2,
@@ -250,6 +251,68 @@ class TestFig9XlPathEquality:
 
         def table(out: str) -> str:
             return out[out.index("Figure 9 XL") : out.rindex("-- completed")]
+
+        assert table(first) == table(second) == table(plain)
+
+
+class TestThroughputPathEquality:
+    """The throughput experiment is path-independent to the byte.
+
+    Same report and aggregates whatever the worker count, data path
+    (streaming vs in-memory) or simulation engine -- the acceptance pin for
+    the workload subsystem's determinism contract.
+    """
+
+    ARGS = dict(runs=2, seed=3, horizon_ms=30_000.0, workloads=("closed-loop",))
+
+    def test_worker_counts_agree(self):
+        from repro.experiments import exp_throughput
+
+        serial = exp_throughput.run(workers=1, **self.ARGS)
+        fanned = exp_throughput.run(workers=4, **self.ARGS)
+        assert serial.by_label == fanned.by_label
+        assert exp_throughput.report(serial) == exp_throughput.report(fanned)
+
+    def test_streaming_and_raw_paths_agree(self):
+        from repro.experiments import exp_throughput
+
+        raw = exp_throughput.run(**self.ARGS)
+        streamed = exp_throughput.run(streaming=True, workers=2, **self.ARGS)
+        assert streamed.streaming and not raw.streaming
+        assert streamed.by_label == raw.by_label
+        assert exp_throughput.report(streamed) == exp_throughput.report(raw)
+        assert exp_throughput._export_rows(streamed) == exp_throughput._export_rows(
+            raw
+        )
+
+    def test_engines_agree(self):
+        from repro.experiments import exp_throughput
+        from repro.sim import engines
+
+        classic = exp_throughput.run(**self.ARGS)
+        with engines.using_engine("flat"):
+            flat = exp_throughput.run(**self.ARGS)
+        assert classic.by_label == flat.by_label
+
+    def test_checkpoint_requires_streaming(self):
+        from repro.common.errors import ConfigurationError
+        from repro.experiments import exp_throughput
+
+        with pytest.raises(ConfigurationError, match="streaming"):
+            exp_throughput.run(checkpoint="/tmp/nope", **self.ARGS)
+
+    def test_cli_checkpoint_run_resumes_to_the_same_report(self, tmp_path, capsys):
+        args = ["throughput", "--runs", "1", "--seed", "4", "--quick"]
+        checkpointed = args + ["--checkpoint", str(tmp_path)]
+        assert experiments_main(checkpointed) == 0
+        first = capsys.readouterr().out
+        assert experiments_main(checkpointed) == 0
+        second = capsys.readouterr().out
+        assert experiments_main(args) == 0
+        plain = capsys.readouterr().out
+
+        def table(out: str) -> str:
+            return out[out.index("Throughput under") : out.rindex("-- completed")]
 
         assert table(first) == table(second) == table(plain)
 

@@ -317,7 +317,7 @@ class TestCli:
         assert "partition-flap" in plan_names()
 
     def test_plan_capable_experiments_exist(self):
-        assert registry.supporting("plan") == ("avail",)
+        assert registry.supporting("plan") == ("avail", "throughput")
 
     def test_protocols_option_accepts_registered_names(self):
         parser = build_parser()
@@ -340,6 +340,7 @@ class TestCli:
             "fig11",
             "wan",
             "avail",
+            "throughput",
             "ablation-ppf",
         } == set(registry.supporting("protocols"))
 
@@ -353,7 +354,7 @@ class TestCli:
         assert "escape-noppf" in ablation_ppf.PROTOCOLS
 
     def test_streaming_capable_experiments_exist(self):
-        assert registry.supporting("streaming") == ("fig9-xl",)
+        assert registry.supporting("streaming") == ("fig9-xl", "throughput")
 
     def test_streaming_option_is_tri_state(self):
         # None = spec default, True/False = explicit override; the tri-state
@@ -385,7 +386,7 @@ class TestCli:
             registry.run_experiment("fig9-xl", runs=1, streaming=False, checkpoint="x")
 
     def test_trace_capable_experiments_exist(self):
-        assert registry.supporting("trace") == ("fig3", "fig9")
+        assert registry.supporting("trace") == ("fig3", "fig9", "throughput")
 
     def test_trace_out_option_takes_a_directory(self):
         # dest is "trace" so the registry's capability loop sees the option

@@ -81,7 +81,7 @@ class TestS1SpecPurity:
         )
         assert lambda_finding.path.endswith("test_lint_registry_rules.py")
 
-    def test_all_five_live_registries_are_pure(self):
+    def test_all_six_live_registries_are_pure(self):
         registries = load_registries()
         assert set(registries) == {
             "protocols",
@@ -89,6 +89,7 @@ class TestS1SpecPurity:
             "net-conditions",
             "chaos-plans",
             "engines",
+            "workloads",
         }
         assert all(pairs for pairs in registries.values())
         assert check_registered_specs(DEFAULT_CONFIG) == []

@@ -178,6 +178,45 @@ class TestReplicationProgress:
         progress.record_success(3, 2)
         assert progress.commit_index_for_quorum(2, log, current_term=3) == 0
 
+    def test_quorum_on_stale_prefix_falls_back_to_a_current_term_entry(self):
+        # The quorum index lands on a term-1 entry, but a *lower* index holds
+        # a current-term entry replicated at least as widely -- the walk-down
+        # must find it rather than give up at the stale candidate.
+        log = log_with([1, 2, 2])
+        progress = ReplicationProgress(1, [2, 3, 4, 5], last_log_index=3)
+        progress.record_local_append(3)
+        progress.record_success(2, 3)
+        progress.record_success(3, 2)  # quorum index is 2 (term 2): commits
+        assert progress.commit_index_for_quorum(3, log, current_term=2) == 2
+
+    def test_committing_a_current_term_entry_commits_the_stale_prefix(self):
+        # Implicit commitment: once a term-2 entry reaches a quorum, the
+        # term-1 entries beneath it are committed with it (the commit index
+        # jumps straight to 3, never pausing at the stale entries).
+        log = log_with([1, 1, 2])
+        progress = ReplicationProgress(1, [2, 3, 4, 5], last_log_index=3)
+        progress.record_local_append(3)
+        progress.record_success(2, 3)
+        progress.record_success(3, 3)
+        assert progress.commit_index_for_quorum(3, log, current_term=2) == 3
+
+    def test_minority_replication_of_newer_entries_commits_nothing(self):
+        # One follower racing ahead on term-2 entries does not move the
+        # commit index while the quorum still sits on the term-1 prefix.
+        log = log_with([1, 2, 2])
+        progress = ReplicationProgress(1, [2, 3, 4, 5], last_log_index=3)
+        progress.record_local_append(3)
+        progress.record_success(2, 1)
+        progress.record_success(3, 1)  # quorum at index 1, term 1: stale
+        assert progress.commit_index_for_quorum(3, log, current_term=2) == 0
+
+    def test_quorum_larger_than_cluster_commits_nothing(self):
+        log = log_with([1])
+        progress = ReplicationProgress(1, [2], last_log_index=1)
+        progress.record_local_append(1)
+        progress.record_success(2, 1)
+        assert progress.commit_index_for_quorum(5, log, current_term=1) == 0
+
     def test_stale_followers_lists_lagging_peers(self):
         progress = ReplicationProgress(1, [2, 3], last_log_index=5)
         progress.record_success(2, 5)

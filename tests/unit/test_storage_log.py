@@ -73,6 +73,28 @@ class TestTruncate:
         assert log.truncate_from(5) == 0
         assert log.last_index == 1
 
+    def test_truncate_from_one_empties_the_log(self):
+        log = build_log([1, 2, 3])
+        assert log.truncate_from(1) == 3
+        assert len(log) == 0
+        # The tail cache resets to the empty-log sentinel, so up-to-date
+        # comparisons and contiguous appends behave like a fresh log.
+        assert (log.last_index, log.last_term) == (0, 0)
+        log.append_command(1, "restart")
+        assert log.last_index == 1
+
+    def test_truncate_recomputes_the_tail_cache(self):
+        log = build_log([1, 1, 3])
+        log.truncate_from(3)
+        assert (log.last_index, log.last_term) == (2, 1)
+        # A lower-term append is legal again now that the term-3 tail is gone.
+        log.append_command(2, "replacement")
+        assert log.last_term == 2
+
+    def test_truncate_rejects_non_positive_index(self):
+        with pytest.raises(StorageError):
+            build_log([1]).truncate_from(0)
+
 
 class TestMergeEntries:
     def test_appends_new_entries(self):
@@ -107,6 +129,50 @@ class TestMergeEntries:
         log = build_log([1])
         with pytest.raises(StorageError):
             log.merge_entries(1, [LogEntry(term=1, index=5, command="x")])
+
+    def test_empty_batch_is_a_heartbeat_noop(self):
+        log = build_log([1, 2])
+        assert not log.merge_entries(2, [])
+        assert log.last_index == 2
+
+    def test_matching_prefix_survives_a_conflicting_tail(self):
+        # Only the suffix from the first conflict is replaced; matching
+        # entries before it keep their commands (they may be committed).
+        log = build_log([1, 1, 1, 1])
+        incoming = [
+            LogEntry(term=1, index=2, command="cmd2"),
+            LogEntry(term=3, index=3, command="new3"),
+        ]
+        assert log.merge_entries(1, incoming)
+        assert log.entry_at(2).command == "cmd2"
+        assert log.term_at(3) == 3
+        # The old index-4 entry sat behind the conflict and is gone with it.
+        assert log.last_index == 3
+
+    def test_conflict_at_batch_start_replaces_everything_after_prev(self):
+        log = build_log([1, 2, 2])
+        assert log.merge_entries(0, [LogEntry(term=3, index=1, command="n1")])
+        assert (log.last_index, log.last_term) == (1, 3)
+
+    def test_merge_past_the_end_appends_the_overlap_and_the_rest(self):
+        # A retransmitted batch that straddles the follower's tail: the
+        # duplicate prefix is skipped, the genuinely new suffix appends.
+        log = build_log([1, 1])
+        incoming = [
+            LogEntry(term=1, index=2, command="cmd2"),
+            LogEntry(term=1, index=3, command="c3"),
+            LogEntry(term=2, index=4, command="c4"),
+        ]
+        assert log.merge_entries(1, incoming)
+        assert log.entry_at(2).command == "cmd2"
+        assert [entry.index for entry in log] == [1, 2, 3, 4]
+
+    def test_merge_is_idempotent_for_the_same_batch(self):
+        log = build_log([1])
+        batch = [LogEntry(term=2, index=2, command="b")]
+        assert log.merge_entries(1, batch)
+        assert not log.merge_entries(1, batch)
+        assert log.last_index == 2
 
 
 class TestConsistencyCheck:

@@ -1,0 +1,143 @@
+"""Unit tests for the workload spec registry (the sixth spec registry)."""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workload import specs
+from repro.workload.specs import KeyspaceSpec, ValueSizeSpec, WorkloadSpec
+
+BUILTINS = (
+    "legacy-interval",
+    "closed-loop",
+    "open-poisson",
+    "open-uniform",
+    "open-burst",
+)
+
+
+class TestRegistry:
+    def test_builtins_are_registered_in_order(self):
+        assert specs.names() == BUILTINS
+
+    def test_get_returns_the_registered_spec(self):
+        spec = specs.get("closed-loop")
+        assert spec.name == "closed-loop"
+        assert spec.mode == "closed"
+
+    def test_unknown_name_lists_the_alternatives(self):
+        with pytest.raises(ConfigurationError, match="closed-loop"):
+            specs.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            specs.register(WorkloadSpec(name="closed-loop"))
+
+    def test_is_registered(self):
+        assert specs.is_registered("open-burst")
+        assert not specs.is_registered("open-pareto")
+
+    def test_registered_specs_enumerates_name_spec_pairs(self):
+        pairs = specs.registered_specs()
+        assert tuple(name for name, _ in pairs) == BUILTINS
+        assert all(isinstance(spec, WorkloadSpec) for _, spec in pairs)
+
+    def test_legacy_interval_rebinds_the_period(self):
+        spec = specs.legacy_interval(125.0)
+        assert spec.mode == "legacy-interval"
+        assert spec.interval_ms == 125.0
+        assert not spec.tracked
+        # The registered prototype is untouched.
+        assert specs.get("legacy-interval").interval_ms == 250.0
+
+    def test_every_builtin_survives_pickling(self):
+        for _, spec in specs.registered_specs():
+            assert pickle.loads(pickle.dumps(spec)) == spec
+            hash(spec)
+
+
+class TestWorkloadSpecValidation:
+    def test_tracked_covers_all_but_legacy(self):
+        assert WorkloadSpec(name="w", mode="closed").tracked
+        assert WorkloadSpec(name="w", mode="open").tracked
+        assert not WorkloadSpec(name="w", mode="legacy-interval").tracked
+
+    def test_name_required(self):
+        with pytest.raises(ConfigurationError, match="needs a name"):
+            WorkloadSpec(name="")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload mode"):
+            WorkloadSpec(name="w", mode="half-open")
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"mode": "closed", "clients": 0},
+            {"mode": "closed", "think_time_ms": 0.0},
+            {"mode": "open", "arrival": "pareto"},
+            {"mode": "open", "arrival": "poisson", "rate_per_s": 0.0},
+            {"mode": "open", "arrival": "uniform", "rate_per_s": -1.0},
+            {"mode": "open", "arrival": "burst", "burst_size": 0},
+            {"mode": "open", "arrival": "burst", "burst_interval_ms": 0.0},
+            {"mode": "legacy-interval", "interval_ms": 0.0},
+            {"max_retries": -1},
+            {"retry_backoff_ms": -1.0},
+            {"request_timeout_ms": 0.0},
+        ],
+    )
+    def test_invalid_shapes_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="w", **overrides)
+
+    def test_specs_are_frozen(self):
+        spec = specs.get("open-poisson")
+        with pytest.raises(AttributeError):
+            spec.rate_per_s = 99.0
+
+
+class TestKeyspaceSpec:
+    def test_defaults_match_the_legacy_keyspace(self):
+        assert KeyspaceSpec().keys == 16
+        assert KeyspaceSpec().mode == "round-robin"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"mode": "zipf"},
+            {"keys": 0},
+            {"mode": "hotspot", "keys": 1},
+            {"mode": "hotspot", "hot_fraction": 0.0},
+            {"mode": "hotspot", "hot_fraction": 1.0},
+            {"mode": "hotspot", "hot_share": 0.0},
+            {"mode": "hotspot", "hot_share": 1.5},
+        ],
+    )
+    def test_invalid_keyspaces_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            KeyspaceSpec(**overrides)
+
+    def test_hotspot_shape_accepted(self):
+        spec = KeyspaceSpec(mode="hotspot", keys=32, hot_fraction=0.25)
+        assert replace(spec, hot_share=1.0).hot_share == 1.0
+
+
+class TestValueSizeSpec:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"mode": "lognormal"},
+            {"mode": "fixed", "size": 0},
+            {"mode": "uniform", "min_size": 0},
+            {"mode": "uniform", "min_size": 9, "max_size": 8},
+        ],
+    )
+    def test_invalid_sizes_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            ValueSizeSpec(**overrides)
+
+    def test_uniform_range_accepted(self):
+        spec = ValueSizeSpec(mode="uniform", min_size=8, max_size=8)
+        assert (spec.min_size, spec.max_size) == (8, 8)
